@@ -1,0 +1,50 @@
+// Command psgen emits synthetic production-system programs in the rule
+// language, for feeding psrun or external experimentation.
+//
+// Usage:
+//
+//	psgen -kind pipeline -parts 20 -stages 4 > prog.ops
+//	psgen -kind counter  -parts 10 -stages 3 > prog.ops
+//	psgen -kind guarded  -parts 12 > prog.ops
+//	psgen -kind random   -seed 7 -parts 30 -stages 5 > prog.ops
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pdps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psgen: ")
+
+	var (
+		kind   = flag.String("kind", "pipeline", "workload: pipeline, counter, guarded, random")
+		parts  = flag.Int("parts", 20, "number of parts / jobs / tuples")
+		stages = flag.Int("stages", 4, "stages / layers")
+		seed   = flag.Int64("seed", 1, "seed for -kind random")
+	)
+	flag.Parse()
+
+	var prog pdps.Program
+	switch *kind {
+	case "pipeline":
+		prog = pdps.Pipeline(*parts, *stages)
+	case "counter":
+		prog = pdps.SharedCounter(*parts, *stages)
+	case "guarded":
+		prog = pdps.Guarded(*parts)
+	case "random":
+		prog = pdps.RandomProgram(*seed, *stages, *parts)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	if _, err := fmt.Fprint(os.Stdout, pdps.Format(prog)); err != nil {
+		log.Fatal(err)
+	}
+}

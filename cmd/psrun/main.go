@@ -1,0 +1,149 @@
+// Command psrun executes a production-system program file (.ops rule
+// language) under a chosen engine, strategy and locking scheme.
+//
+// Usage:
+//
+//	psrun [flags] program.ops
+//
+// Flags select the engine ("single", "parallel", "static"), the lock
+// scheme for the parallel engine ("2pl", "rcrawa"), the conflict
+// resolution strategy, worker count, matcher and verbosity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"pdps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psrun: ")
+
+	var (
+		engineName = flag.String("engine", "single", "engine: single, parallel, static")
+		scheme     = flag.String("scheme", "rcrawa", "lock scheme for parallel engine: 2pl, rcrawa")
+		strategy   = flag.String("strategy", "lex", "conflict resolution: lex, mea, fifo, priority, specificity, random")
+		matcher    = flag.String("matcher", "rete", "matcher: rete, treat, naive")
+		shards     = flag.Int("shards", 1, "matcher shards (>1 enables intra-phase match parallelism)")
+		np         = flag.Int("np", 4, "processors (workers) for parallel engines")
+		maxFirings = flag.Int("max-firings", 10000, "firing safety bound")
+		verify     = flag.Bool("verify", false, "verify semantic consistency at every commit")
+		check      = flag.Bool("check", true, "check the trace against ES_single after the run")
+		showTrace  = flag.Bool("trace", false, "print the full event trace")
+		showWM     = flag.Bool("wm", false, "print the final working memory")
+		dataDir    = flag.String("data", "", "durable directory: log every commit and checkpoint at exit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psrun [flags] program.ops")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := pdps.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := pdps.NewStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := pdps.Options{
+		Matcher:     *matcher,
+		MatchShards: *shards,
+		Strategy:    st,
+		Np:          *np,
+		MaxFirings:  *maxFirings,
+		Verify:      *verify,
+	}
+	var durable *pdps.Durable
+	if *dataDir != "" {
+		durable, err = pdps.OpenDurable(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.WAL = durable.WAL()
+	}
+
+	var eng pdps.Engine
+	switch *engineName {
+	case "single":
+		eng, err = pdps.NewSingleEngine(prog, opts)
+	case "parallel":
+		var sch pdps.Scheme
+		switch *scheme {
+		case "2pl":
+			sch = pdps.Scheme2PL
+		case "rcrawa":
+			sch = pdps.SchemeRcRaWa
+		default:
+			log.Fatalf("unknown scheme %q", *scheme)
+		}
+		eng, err = pdps.NewParallelEngine(prog, sch, opts)
+	case "static":
+		eng, err = pdps.NewStaticEngine(prog, opts)
+	default:
+		log.Fatalf("unknown engine %q", *engineName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if durable != nil {
+		// Log the program's initial working memory as the first record
+		// so recovery replays onto an empty base.
+		init := eng.Store().All()
+		if len(init) > 0 {
+			if err := durable.WAL().Append(&pdps.Delta{Adds: init}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	start := time.Now()
+	res, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("engine=%s firings=%d aborts=%d skips=%d cycles=%d halted=%v limit=%v elapsed=%v\n",
+		*engineName, res.Firings, res.Aborts, res.Skips, res.Cycles,
+		res.Halted, res.LimitHit, elapsed.Round(time.Microsecond))
+
+	if *showTrace {
+		for _, e := range res.Log.Events() {
+			fmt.Println(e)
+		}
+	}
+	if *showWM {
+		for _, w := range eng.Store().All() {
+			fmt.Println(w)
+		}
+	}
+	if *check {
+		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+			log.Fatalf("trace check FAILED: %v", err)
+		}
+		fmt.Println("trace check: consistent with single-thread semantics")
+	}
+	if durable != nil {
+		if err := durable.Sync(); err != nil {
+			log.Fatal(err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("durable log written to %s\n", *dataDir)
+	}
+}

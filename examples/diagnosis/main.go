@@ -1,0 +1,90 @@
+// Diagnosis: an expert-system style rule set (the AI half of the
+// paper's motivation) that classifies machine fault reports using
+// priorities and negated conditions. Runs the same
+// knowledge base on the single-thread and the static-partition
+// parallel engine and shows that both reach the same conclusions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdps"
+)
+
+const kb = `
+; Severe faults: temperature plus vibration on the same machine.
+(p severe :priority 10
+  (reading ^machine <m> ^kind temp ^value >= 90)
+  (reading ^machine <m> ^kind vibration ^value >= 7)
+  -(diagnosis ^machine <m>)
+  -->
+  (make diagnosis ^machine <m> ^fault bearing-failure ^severity critical))
+
+; High temperature alone suggests coolant problems.
+(p hot :priority 5
+  (reading ^machine <m> ^kind temp ^value >= 90)
+  -(diagnosis ^machine <m>)
+  -->
+  (make diagnosis ^machine <m> ^fault coolant ^severity major))
+
+; Anything not diagnosed after the specific rules is healthy.
+(p healthy :priority 1
+  (machine ^id <m>)
+  -(diagnosis ^machine <m>)
+  -->
+  (make diagnosis ^machine <m> ^fault none ^severity ok))
+`
+
+func main() {
+	prog, err := pdps.Parse(kb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Three machines: one severe, one hot, one healthy.
+	prog.WMEs = []pdps.InitialWME{
+		{Class: "machine", Attrs: map[string]pdps.Value{"id": pdps.Int(1)}},
+		{Class: "machine", Attrs: map[string]pdps.Value{"id": pdps.Int(2)}},
+		{Class: "machine", Attrs: map[string]pdps.Value{"id": pdps.Int(3)}},
+		{Class: "reading", Attrs: map[string]pdps.Value{
+			"machine": pdps.Int(1), "kind": pdps.Sym("temp"), "value": pdps.Int(95)}},
+		{Class: "reading", Attrs: map[string]pdps.Value{
+			"machine": pdps.Int(1), "kind": pdps.Sym("vibration"), "value": pdps.Int(9)}},
+		{Class: "reading", Attrs: map[string]pdps.Value{
+			"machine": pdps.Int(2), "kind": pdps.Sym("temp"), "value": pdps.Int(92)}},
+		{Class: "reading", Attrs: map[string]pdps.Value{
+			"machine": pdps.Int(3), "kind": pdps.Sym("temp"), "value": pdps.Int(40)}},
+	}
+
+	strategy, err := pdps.NewStrategy("priority")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, eng pdps.Engine) {
+		res, err := eng.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s engine: %d firings ---\n", name, res.Firings)
+		for _, d := range eng.Store().ByClass("diagnosis") {
+			fmt.Printf("  machine %v: fault=%v severity=%v\n",
+				d.Attr("machine"), d.Attr("fault"), d.Attr("severity"))
+		}
+		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	single, err := pdps.NewSingleEngine(prog, pdps.Options{Strategy: strategy})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("single-thread", single)
+
+	static, err := pdps.NewStaticEngine(prog, pdps.Options{Strategy: strategy, Np: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("static-parallel", static)
+}

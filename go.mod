@@ -1,0 +1,3 @@
+module pdps
+
+go 1.22

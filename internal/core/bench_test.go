@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchSystem(b *testing.B, n int) *System {
+	b.Helper()
+	prods := make([]*Production, n)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("P%d", i+1)
+	}
+	for i := range prods {
+		p := &Production{Name: names[i], Time: 1 + i%4}
+		if i+1 < n {
+			p.Del = append(p.Del, names[i+1])
+		}
+		if i+3 < n {
+			p.Add = append(p.Add, names[i+3])
+		}
+		prods[i] = p
+	}
+	s, err := NewSystem(prods, names[:n/2])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkStep(b *testing.B) {
+	s := benchSystem(b, 16)
+	st := State(s.Initial())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := s.Step(st, st[i%len(st)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = next
+	}
+}
+
+func BenchmarkBuildGraph(b *testing.B) {
+	s := benchSystem(b, 10)
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		g := s.BuildGraph(12)
+		nodes = len(g.Nodes)
+	}
+	b.ReportMetric(float64(nodes), "states")
+}
+
+func BenchmarkIsValidSequence(b *testing.B) {
+	s := benchSystem(b, 16)
+	// Build a long valid sequence by always firing the first active
+	// production.
+	var seq []string
+	st := State(s.Initial())
+	for len(st) > 0 && len(seq) < 64 {
+		seq = append(seq, st[0])
+		next, err := s.Step(st, st[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = next
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.IsValidSequence(seq) {
+			b.Fatal("sequence became invalid")
+		}
+	}
+	b.ReportMetric(float64(len(seq)), "steps")
+}

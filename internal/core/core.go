@@ -1,0 +1,177 @@
+// Package core implements the paper's formal execution-semantics model
+// (Section 3): abstract productions characterised by add and delete
+// sets over the conflict set, system states, the execution graph rooted
+// at the initial state (Figure 3.1), enumeration of the single-thread
+// execution semantics ES_single, and the semantic-consistency check of
+// Definition 3.2 — the oracle every parallel execution mechanism in
+// this repository is validated against.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Production is an abstract production P_i: firing it removes itself
+// and its delete set from the conflict set and inserts its add set
+// (Section 3.3). Time is its execution duration in abstract time units,
+// used by the Section 5 speed-up analysis.
+type Production struct {
+	Name string
+	Add  []string
+	Del  []string
+	Time int
+}
+
+// System is an abstract production system: a set of productions and an
+// initial conflict set.
+type System struct {
+	prods   map[string]*Production
+	order   []string // declaration order, for deterministic iteration
+	initial []string
+}
+
+// NewSystem builds a system after validating that production names are
+// unique and that add/delete sets and the initial conflict set refer
+// only to declared productions.
+func NewSystem(prods []*Production, initial []string) (*System, error) {
+	s := &System{prods: make(map[string]*Production, len(prods))}
+	for _, p := range prods {
+		if p.Name == "" {
+			return nil, fmt.Errorf("core: production with empty name")
+		}
+		if _, dup := s.prods[p.Name]; dup {
+			return nil, fmt.Errorf("core: duplicate production %s", p.Name)
+		}
+		s.prods[p.Name] = p
+		s.order = append(s.order, p.Name)
+	}
+	check := func(kind, owner string, names []string) error {
+		for _, n := range names {
+			if _, ok := s.prods[n]; !ok {
+				return fmt.Errorf("core: %s set of %s references unknown production %s", kind, owner, n)
+			}
+		}
+		return nil
+	}
+	for _, p := range prods {
+		if err := check("add", p.Name, p.Add); err != nil {
+			return nil, err
+		}
+		if err := check("delete", p.Name, p.Del); err != nil {
+			return nil, err
+		}
+	}
+	if err := check("initial", "system", initial); err != nil {
+		return nil, err
+	}
+	s.initial = normalize(initial)
+	return s, nil
+}
+
+// Production returns the named production.
+func (s *System) Production(name string) (*Production, bool) {
+	p, ok := s.prods[name]
+	return p, ok
+}
+
+// Productions returns all productions in declaration order.
+func (s *System) Productions() []*Production {
+	out := make([]*Production, len(s.order))
+	for i, n := range s.order {
+		out[i] = s.prods[n]
+	}
+	return out
+}
+
+// Initial returns the initial conflict set (sorted, deduplicated).
+func (s *System) Initial() []string {
+	return append([]string(nil), s.initial...)
+}
+
+// State is a conflict set: a sorted, deduplicated list of active
+// production names. States are treated as immutable values.
+type State []string
+
+func normalize(names []string) State {
+	seen := make(map[string]bool, len(names))
+	out := make(State, 0, len(names))
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key returns the canonical string form of the state.
+func (st State) Key() string { return strings.Join(st, ",") }
+
+// Contains reports whether the production is active in this state.
+func (st State) Contains(name string) bool {
+	i := sort.SearchStrings(st, name)
+	return i < len(st) && st[i] == name
+}
+
+// Empty reports the termination condition: an empty conflict set.
+func (st State) Empty() bool { return len(st) == 0 }
+
+// Step fires the named production in the state: the production leaves
+// the conflict set, its delete set is subtracted and its add set is
+// united in. Firing an inactive production is an error — exactly the
+// situation a semantically inconsistent parallel execution produces.
+func (s *System) Step(st State, name string) (State, error) {
+	p, ok := s.prods[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown production %s", name)
+	}
+	if !st.Contains(name) {
+		return nil, fmt.Errorf("core: production %s fired while not in conflict set {%s}", name, st.Key())
+	}
+	drop := map[string]bool{name: true}
+	for _, d := range p.Del {
+		drop[d] = true
+	}
+	next := make([]string, 0, len(st)+len(p.Add))
+	for _, n := range st {
+		if !drop[n] {
+			next = append(next, n)
+		}
+	}
+	next = append(next, p.Add...)
+	return normalize(next), nil
+}
+
+// Replay runs a sequence of firings from the initial state, returning
+// the reached state. It fails at the first firing of an inactive
+// production.
+func (s *System) Replay(seq []string) (State, error) {
+	st := State(s.Initial())
+	for i, name := range seq {
+		next, err := s.Step(st, name)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", i+1, err)
+		}
+		st = next
+	}
+	return st, nil
+}
+
+// IsValidSequence implements the semantic-consistency condition of
+// Definition 3.2 for a single sequence: it reports whether seq is a
+// root-originating path of the execution graph (equivalently, a valid
+// prefix of a single-thread execution).
+func (s *System) IsValidSequence(seq []string) bool {
+	_, err := s.Replay(seq)
+	return err == nil
+}
+
+// ExplainInvalid returns nil if the sequence is valid, or the error
+// describing the first invalid firing.
+func (s *System) ExplainInvalid(seq []string) error {
+	_, err := s.Replay(seq)
+	return err
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sys33 is the Section 3.3-style example system used across core
+// tests: six productions with add/delete sets, initial conflict set
+// {P1,P2,P3,P5}.
+func sys33(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem([]*Production{
+		{Name: "P1", Add: []string{"P4"}, Del: []string{"P2", "P3"}},
+		{Name: "P2", Add: []string{"P4"}, Del: []string{"P1"}},
+		{Name: "P3"},
+		{Name: "P4", Add: []string{"P6"}, Del: []string{"P5"}},
+		{Name: "P5", Del: []string{"P4"}},
+		{Name: "P6"},
+	}, []string{"P1", "P2", "P3", "P5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem([]*Production{{Name: ""}}, nil); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if _, err := NewSystem([]*Production{{Name: "P"}, {Name: "P"}}, nil); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if _, err := NewSystem([]*Production{{Name: "P", Add: []string{"Q"}}}, nil); err == nil {
+		t.Error("unknown add reference must be rejected")
+	}
+	if _, err := NewSystem([]*Production{{Name: "P", Del: []string{"Q"}}}, nil); err == nil {
+		t.Error("unknown delete reference must be rejected")
+	}
+	if _, err := NewSystem([]*Production{{Name: "P"}}, []string{"Q"}); err == nil {
+		t.Error("unknown initial reference must be rejected")
+	}
+}
+
+func TestStepSemantics(t *testing.T) {
+	s := sys33(t)
+	st := State(s.Initial())
+	if got := st.Key(); got != "P1,P2,P3,P5" {
+		t.Fatalf("initial = %s", got)
+	}
+	// Fire P1: removes itself and {P2,P3}, adds P4.
+	st2, err := s.Step(st, "P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Key() != "P4,P5" {
+		t.Fatalf("after P1: %s, want P4,P5", st2.Key())
+	}
+	// Firing an inactive production is the consistency violation.
+	if _, err := s.Step(st2, "P2"); err == nil {
+		t.Fatal("firing inactive production must error")
+	}
+	if _, err := s.Step(st2, "nope"); err == nil {
+		t.Fatal("unknown production must error")
+	}
+	// Original state is unchanged (immutability).
+	if st.Key() != "P1,P2,P3,P5" {
+		t.Fatal("Step mutated its input state")
+	}
+}
+
+func TestReplayAndValidity(t *testing.T) {
+	s := sys33(t)
+	// P1 P4 P6: P1 -> {P4,P5}; P4 deletes P5, adds P6 -> {P6}; P6 -> {}.
+	final, err := s.Replay([]string{"P1", "P4", "P6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Empty() {
+		t.Fatalf("final state = {%s}, want empty", final.Key())
+	}
+	if !s.IsValidSequence([]string{"P1", "P4", "P6"}) {
+		t.Fatal("valid sequence rejected")
+	}
+	if !s.IsValidSequence([]string{"P1", "P4"}) {
+		t.Fatal("prefixes of valid sequences are valid (Definition 3.1)")
+	}
+	if s.IsValidSequence([]string{"P4"}) {
+		t.Fatal("P4 is not initially active")
+	}
+	if s.IsValidSequence([]string{"P1", "P2"}) {
+		t.Fatal("P2 is deleted by P1's firing")
+	}
+	if err := s.ExplainInvalid([]string{"P1", "P2"}); err == nil ||
+		!strings.Contains(err.Error(), "P2") {
+		t.Fatalf("ExplainInvalid = %v", err)
+	}
+	if err := s.ExplainInvalid([]string{"P1", "P4", "P6"}); err != nil {
+		t.Fatalf("ExplainInvalid on valid sequence = %v", err)
+	}
+}
+
+func TestSequencesPrefixClosure(t *testing.T) {
+	s := sys33(t)
+	all := s.Sequences(10, false)
+	seen := make(map[string]bool, len(all))
+	for _, seq := range all {
+		seen[strings.Join(seq, " ")] = true
+	}
+	// Every prefix of every listed sequence is itself listed.
+	for _, seq := range all {
+		for i := 1; i < len(seq); i++ {
+			if !seen[strings.Join(seq[:i], " ")] {
+				t.Fatalf("prefix %v of %v missing from ES", seq[:i], seq)
+			}
+		}
+	}
+	// And every listed sequence replays successfully.
+	for _, seq := range all {
+		if !s.IsValidSequence(seq) {
+			t.Fatalf("enumerated sequence %v is invalid", seq)
+		}
+	}
+}
+
+func TestCompletedSequencesTerminate(t *testing.T) {
+	s := sys33(t)
+	done := s.CompletedSequences(10)
+	if len(done) == 0 {
+		t.Fatal("no completed sequences found")
+	}
+	for _, seq := range done {
+		final, err := s.Replay(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !final.Empty() {
+			t.Fatalf("completed sequence %v ends in {%s}", seq, final.Key())
+		}
+	}
+	// The system is deterministic: enumerating twice gives identical output.
+	again := s.CompletedSequences(10)
+	if len(again) != len(done) {
+		t.Fatal("non-deterministic enumeration")
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	s := sys33(t)
+	g := s.BuildGraph(10)
+	if g.Truncated {
+		t.Fatal("terminating system must not truncate at depth 10")
+	}
+	if g.Root != "P1,P2,P3,P5" {
+		t.Fatalf("root = %s", g.Root)
+	}
+	// The empty state is reachable and has no outgoing edges.
+	empty, ok := g.Nodes[""]
+	if !ok {
+		t.Fatal("empty state unreachable")
+	}
+	if len(empty.Edges) != 0 {
+		t.Fatal("empty state must be terminal")
+	}
+	// Every edge is a legal Step.
+	for key, n := range g.Nodes {
+		for p, next := range n.Edges {
+			st, err := s.Step(n.State, p)
+			if err != nil {
+				t.Fatalf("edge %s -%s-> invalid: %v", key, p, err)
+			}
+			if st.Key() != next {
+				t.Fatalf("edge %s -%s-> %s, Step gives %s", key, p, next, st.Key())
+			}
+		}
+	}
+	// Root-originating path counts match direct enumeration.
+	for l := 1; l <= 4; l++ {
+		want := 0
+		for _, seq := range s.Sequences(l, false) {
+			if len(seq) == l {
+				want++
+			}
+		}
+		if got := g.PathCount(l); got != want {
+			t.Fatalf("PathCount(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestGraphTruncation(t *testing.T) {
+	// A self-re-adding production has an infinite execution graph.
+	s, err := NewSystem([]*Production{
+		{Name: "P", Add: []string{"P"}},
+	}, []string{"P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.BuildGraph(3)
+	if g.Truncated {
+		// {P} -> {P}: only one node, exploration completes: should NOT
+		// truncate since the state was already seen.
+		t.Fatal("single-state loop should not truncate")
+	}
+	if !s.IsValidSequence([]string{"P", "P", "P", "P"}) {
+		t.Fatal("repeated firing of self-re-adding production is valid")
+	}
+	// Sequences at maxLen stop cleanly.
+	seqs := s.Sequences(3, false)
+	if len(seqs) != 3 {
+		t.Fatalf("got %d sequences, want 3 (P, PP, PPP)", len(seqs))
+	}
+}
+
+func TestGraphDot(t *testing.T) {
+	s := sys33(t)
+	dot := s.BuildGraph(10).Dot()
+	for _, frag := range []string{"digraph", `"P1,P2,P3,P5"`, "label=\"P1\""} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("Dot output missing %q", frag)
+		}
+	}
+}
+
+// TestStepCommutesForIndependentProductions property-tests Theorem 1's
+// core step: if two active productions do not mention each other in
+// add/delete sets, firing them in either order reaches the same state.
+func TestStepCommutesForIndependentProductions(t *testing.T) {
+	s := sys33(t)
+	f := func() bool {
+		st := State(s.Initial())
+		// P3 and P5 are independent of each other in sys33.
+		a, err1 := s.Step(st, "P3")
+		if err1 != nil {
+			return false
+		}
+		ab, err2 := s.Step(a, "P5")
+		if err2 != nil {
+			return false
+		}
+		b, err3 := s.Step(st, "P5")
+		if err3 != nil {
+			return false
+		}
+		ba, err4 := s.Step(b, "P3")
+		if err4 != nil {
+			return false
+		}
+		return ab.Key() == ba.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProductionsAccessors(t *testing.T) {
+	s := sys33(t)
+	ps := s.Productions()
+	if len(ps) != 6 || ps[0].Name != "P1" || ps[5].Name != "P6" {
+		t.Fatalf("Productions order wrong: %v", ps)
+	}
+	if _, ok := s.Production("P3"); !ok {
+		t.Fatal("Production lookup failed")
+	}
+	if _, ok := s.Production("nope"); ok {
+		t.Fatal("unknown production found")
+	}
+	init := s.Initial()
+	init[0] = "mutated"
+	if s.Initial()[0] == "mutated" {
+		t.Fatal("Initial must return a copy")
+	}
+}

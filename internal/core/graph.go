@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is the execution graph of Figure 3.1: nodes are reachable
+// system states, and each node has one outgoing edge per production in
+// its conflict set. The single-thread execution semantics ES_single is
+// the set of root-originating paths (and their prefixes).
+type Graph struct {
+	sys   *System
+	Root  string
+	Nodes map[string]*Node
+	// Truncated reports that exploration hit the depth bound before
+	// exhausting the graph (possible with self-re-adding productions,
+	// whose execution graphs are infinite).
+	Truncated bool
+}
+
+// Node is one state of the execution graph.
+type Node struct {
+	State State
+	// Edges maps a fired production name to the successor state key.
+	Edges map[string]string
+}
+
+// BuildGraph explores the execution graph breadth-first from the
+// initial state. maxDepth bounds the exploration (path length); pass a
+// depth at least as large as the longest terminating sequence to get
+// the complete graph for terminating systems.
+func (s *System) BuildGraph(maxDepth int) *Graph {
+	g := &Graph{sys: s, Nodes: make(map[string]*Node)}
+	root := State(s.Initial())
+	g.Root = root.Key()
+
+	type item struct {
+		st    State
+		depth int
+	}
+	queue := []item{{root, 0}}
+	g.Nodes[root.Key()] = &Node{State: root, Edges: make(map[string]string)}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[it.st.Key()]
+		if it.depth >= maxDepth {
+			if len(it.st) > 0 {
+				g.Truncated = true
+			}
+			continue
+		}
+		for _, name := range it.st {
+			next, err := s.Step(it.st, name)
+			if err != nil {
+				// Unreachable: name comes from the state itself.
+				panic(err)
+			}
+			node.Edges[name] = next.Key()
+			if _, seen := g.Nodes[next.Key()]; !seen {
+				g.Nodes[next.Key()] = &Node{State: next, Edges: make(map[string]string)}
+				queue = append(queue, item{next, it.depth + 1})
+			}
+		}
+	}
+	return g
+}
+
+// Sequences enumerates root-originating paths of the execution graph up
+// to maxLen firings. If maximalOnly is true, only paths ending in the
+// empty conflict set (completed executions) are returned; otherwise
+// every prefix is included — the full ES_single up to the bound.
+// Results are sorted lexicographically for determinism.
+func (s *System) Sequences(maxLen int, maximalOnly bool) [][]string {
+	var out [][]string
+	var walk func(st State, path []string)
+	walk = func(st State, path []string) {
+		if st.Empty() {
+			out = append(out, append([]string(nil), path...))
+			return
+		}
+		if !maximalOnly && len(path) > 0 {
+			out = append(out, append([]string(nil), path...))
+		}
+		if len(path) == maxLen {
+			return
+		}
+		for _, name := range st {
+			next, err := s.Step(st, name)
+			if err != nil {
+				panic(err)
+			}
+			walk(next, append(path, name))
+		}
+	}
+	walk(State(s.Initial()), nil)
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], " ") < strings.Join(out[j], " ")
+	})
+	return out
+}
+
+// CompletedSequences returns the maximal sequences (ending in an empty
+// conflict set) up to maxLen firings — the executions the paper lists
+// for its Section 3.3 example.
+func (s *System) CompletedSequences(maxLen int) [][]string {
+	return s.Sequences(maxLen, true)
+}
+
+// Dot renders the graph in Graphviz dot syntax (for inspection of the
+// Figure 3.2 reproduction).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph execution {\n  rankdir=TB;\n")
+	keys := make([]string, 0, len(g.Nodes))
+	for k := range g.Nodes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		label := k
+		if label == "" {
+			label = "∅"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", k, "{"+label+"}")
+	}
+	for _, k := range keys {
+		n := g.Nodes[k]
+		edges := make([]string, 0, len(n.Edges))
+		for p := range n.Edges {
+			edges = append(edges, p)
+		}
+		sort.Strings(edges)
+		for _, p := range edges {
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", k, n.Edges[p], p)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// PathCount returns the number of root-originating paths of exactly
+// the given length (walking edges, counting multiplicity).
+func (g *Graph) PathCount(length int) int {
+	var count func(key string, remaining int) int
+	count = func(key string, remaining int) int {
+		if remaining == 0 {
+			return 1
+		}
+		n := g.Nodes[key]
+		total := 0
+		for _, next := range n.Edges {
+			total += count(next, remaining-1)
+		}
+		return total
+	}
+	return count(g.Root, length)
+}

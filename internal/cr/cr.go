@@ -1,0 +1,214 @@
+// Package cr implements the select phase of the production-system
+// cycle: conflict-resolution strategies that choose the dominant
+// production from the conflict set. As the paper notes (Section 3.2),
+// strategies like OPS5's LEX and MEA are heuristics that favour some
+// execution sequences over others but never rule any sequence out, so
+// they are orthogonal to the consistency machinery and pluggable here.
+package cr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pdps/internal/match"
+)
+
+// Strategy selects the dominant instantiation from a non-empty
+// conflict set. Implementations must be deterministic given their own
+// state (Random is deterministic per seed).
+type Strategy interface {
+	// Name identifies the strategy.
+	Name() string
+	// Select returns the chosen instantiation; ins is non-empty.
+	Select(ins []*match.Instantiation) *match.Instantiation
+}
+
+// New returns the strategy with the given name: "fifo", "lex", "mea",
+// "priority", "specificity", or "random" (seeded with 1).
+func New(name string) (Strategy, error) {
+	switch name {
+	case "fifo":
+		return FIFO{}, nil
+	case "lex":
+		return LEX{}, nil
+	case "mea":
+		return MEA{}, nil
+	case "priority":
+		return Priority{}, nil
+	case "specificity":
+		return Specificity{}, nil
+	case "random":
+		return NewRandom(1), nil
+	}
+	return nil, fmt.Errorf("cr: unknown strategy %q", name)
+}
+
+// FIFO picks the instantiation whose matched WMEs are oldest (smallest
+// recency, ties broken by key), giving queue-like behaviour.
+type FIFO struct{}
+
+// Name returns "fifo".
+func (FIFO) Name() string { return "fifo" }
+
+// Select returns the oldest instantiation.
+func (FIFO) Select(ins []*match.Instantiation) *match.Instantiation {
+	best := ins[0]
+	for _, in := range ins[1:] {
+		if c := compareTags(in.TimeTags(), best.TimeTags()); c < 0 || (c == 0 && in.Key() < best.Key()) {
+			best = in
+		}
+	}
+	return best
+}
+
+// LEX is OPS5's LEX strategy: order instantiations by their time tags
+// sorted in descending order, compared lexicographically (most recent
+// first); ties broken by specificity (number of attribute tests), then
+// by key for determinism.
+type LEX struct{}
+
+// Name returns "lex".
+func (LEX) Name() string { return "lex" }
+
+// Select returns the dominant instantiation under LEX.
+func (LEX) Select(ins []*match.Instantiation) *match.Instantiation {
+	best := ins[0]
+	for _, in := range ins[1:] {
+		if lexLess(best, in) {
+			best = in
+		}
+	}
+	return best
+}
+
+// lexLess reports whether b dominates a under LEX.
+func lexLess(a, b *match.Instantiation) bool {
+	if c := compareTags(a.TimeTags(), b.TimeTags()); c != 0 {
+		return c < 0
+	}
+	sa, sb := specificity(a.Rule), specificity(b.Rule)
+	if sa != sb {
+		return sa < sb
+	}
+	return a.Key() > b.Key()
+}
+
+// MEA is OPS5's MEA strategy: compare the recency of the WME matching
+// the first condition element (means-ends analysis), then fall back to
+// LEX ordering.
+type MEA struct{}
+
+// Name returns "mea".
+func (MEA) Name() string { return "mea" }
+
+// Select returns the dominant instantiation under MEA.
+func (MEA) Select(ins []*match.Instantiation) *match.Instantiation {
+	best := ins[0]
+	for _, in := range ins[1:] {
+		if meaLess(best, in) {
+			best = in
+		}
+	}
+	return best
+}
+
+func meaLess(a, b *match.Instantiation) bool {
+	ta, tb := firstTag(a), firstTag(b)
+	if ta != tb {
+		return ta < tb
+	}
+	return lexLess(a, b)
+}
+
+func firstTag(in *match.Instantiation) uint64 {
+	if len(in.WMEs) == 0 {
+		return 0
+	}
+	return in.WMEs[0].TimeTag
+}
+
+// Priority picks the instantiation of the rule with the highest static
+// priority, ties broken by LEX.
+type Priority struct{}
+
+// Name returns "priority".
+func (Priority) Name() string { return "priority" }
+
+// Select returns the highest-priority instantiation.
+func (Priority) Select(ins []*match.Instantiation) *match.Instantiation {
+	best := ins[0]
+	for _, in := range ins[1:] {
+		if in.Rule.Priority > best.Rule.Priority ||
+			(in.Rule.Priority == best.Rule.Priority && lexLess(best, in)) {
+			best = in
+		}
+	}
+	return best
+}
+
+// Specificity prefers the instantiation of the rule with the most
+// condition-element tests (the most specific knowledge), falling back
+// to LEX — the specificity component of OPS5's ordering, exposed as a
+// standalone strategy.
+type Specificity struct{}
+
+// Name returns "specificity".
+func (Specificity) Name() string { return "specificity" }
+
+// Select returns the most specific instantiation.
+func (Specificity) Select(ins []*match.Instantiation) *match.Instantiation {
+	best := ins[0]
+	for _, in := range ins[1:] {
+		sb, si := specificity(best.Rule), specificity(in.Rule)
+		if si > sb || (si == sb && lexLess(best, in)) {
+			best = in
+		}
+	}
+	return best
+}
+
+// Random selects uniformly at random with a seeded source, so runs are
+// reproducible. It is the strategy used by the semantic-consistency
+// property tests to explore many valid execution sequences.
+type Random struct{ rng *rand.Rand }
+
+// NewRandom returns a Random strategy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name returns "random".
+func (r *Random) Name() string { return "random" }
+
+// Select returns a uniformly random instantiation.
+func (r *Random) Select(ins []*match.Instantiation) *match.Instantiation {
+	return ins[r.rng.Intn(len(ins))]
+}
+
+func specificity(r *match.Rule) int {
+	n := 0
+	for _, c := range r.Conditions {
+		n += 1 + len(c.Tests)
+	}
+	return n
+}
+
+// compareTags compares two descending time-tag vectors
+// lexicographically; a missing element is older than any present one.
+func compareTags(a, b []uint64) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"pdps/internal/lock"
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// spareProgram: a slow reader holds a pure Rc on its matched "job"
+// tuple (it writes only the slot class) while a fast producer makes a
+// new job tuple — a relation-level Wa that conflicts with the reader's
+// Rc without falsifying its condition.
+func spareProgram() Program {
+	reader := &match.Rule{
+		Name: "reader",
+		Conditions: []match.Condition{
+			{Class: "job", Tests: []match.AttrTest{
+				{Attr: "id", Op: match.OpEq, Const: wm.Int(1)},
+			}},
+			{Class: "slot", Tests: []match.AttrTest{
+				{Attr: "used", Op: match.OpEq, Const: wm.Bool(false)},
+			}},
+		},
+		Actions: []match.Action{{Kind: match.ActModify, CE: 1, Assigns: []match.AttrAssign{
+			{Attr: "used", Expr: match.ConstExpr{Val: wm.Bool(true)}}}}},
+	}
+	producer := &match.Rule{
+		Name: "producer",
+		Conditions: []match.Condition{
+			{Class: "seed", Tests: []match.AttrTest{
+				{Attr: "fresh", Op: match.OpEq, Const: wm.Bool(true)},
+			}},
+		},
+		Actions: []match.Action{
+			{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+				{Attr: "fresh", Expr: match.ConstExpr{Val: wm.Bool(false)}}}},
+			{Kind: match.ActMake, Class: "job", Assigns: []match.AttrAssign{
+				{Attr: "id", Expr: match.ConstExpr{Val: wm.Int(99)}}}},
+		},
+	}
+	return Program{
+		Rules: []*match.Rule{reader, producer},
+		WMEs: []InitialWME{
+			{Class: "job", Attrs: attrs("id", 1)},
+			{Class: "slot", Attrs: attrs("used", false)},
+			{Class: "seed", Attrs: attrs("fresh", true)},
+		},
+	}
+}
+
+func runSpare(t *testing.T, policy AbortPolicy) Result {
+	t.Helper()
+	e, err := NewParallel(spareProgram(), lock.SchemeRcRaWa, Options{
+		Np:          2,
+		AbortPolicy: policy,
+		Verify:      true,
+		// The reader holds its Rc locks long enough for the producer's
+		// commit (at ~5ms) to land mid-action.
+		RuleDelay: map[string]time.Duration{"reader": 40 * time.Millisecond},
+		CondDelay: map[string]time.Duration{"producer": 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTrace(spareProgram(), res.Log.Commits()); err != nil {
+		t.Fatal(err)
+	}
+	// Both rules commit exactly once in the end.
+	if res.Firings != 2 {
+		t.Fatalf("firings = %d, want 2", res.Firings)
+	}
+	return res
+}
+
+// TestAbortPolicyAlwaysKillsSurvivableVictim: under rule (ii) the
+// reader is aborted by the producer's commit even though its condition
+// still holds, and must re-run.
+func TestAbortPolicyAlwaysKillsSurvivableVictim(t *testing.T) {
+	res := runSpare(t, AbortAlways)
+	if res.Aborts == 0 {
+		t.Fatalf("expected the reader to be aborted at least once; trace: %v", res.Log.Events())
+	}
+}
+
+// TestAbortPolicyReevaluateSparesSurvivableVictim: the alternative
+// policy re-checks the victim's condition and spares it.
+func TestAbortPolicyReevaluateSparesSurvivableVictim(t *testing.T) {
+	res := runSpare(t, AbortReevaluate)
+	if res.Aborts != 0 {
+		t.Fatalf("reevaluate policy aborted a survivable victim %d times; trace: %v",
+			res.Aborts, res.Log.Events())
+	}
+}

@@ -1,0 +1,222 @@
+// Package engine implements the production-system interpreters of the
+// paper: the single execution thread mechanism (Section 3.1), the
+// multiple-thread dynamic approach — transactional rule firing by
+// goroutine workers under a lock manager, with commit-time victim
+// aborts (Sections 4.2–4.3) — and the multiple-thread static approach
+// based on pre-execution interference analysis (Section 4.1,
+// Theorem 1). All engines record their execution in a trace log whose
+// commit subsequence can be checked against the single-thread
+// semantics (Definition 3.2).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pdps/internal/cr"
+	"pdps/internal/lock"
+	"pdps/internal/match"
+	"pdps/internal/rete"
+	"pdps/internal/trace"
+	"pdps/internal/treat"
+	"pdps/internal/wm"
+)
+
+// InitialWME describes one tuple of the program's initial working
+// memory.
+type InitialWME struct {
+	Class string
+	Attrs map[string]wm.Value
+}
+
+// Program is a complete production-system program: rules plus initial
+// working memory.
+type Program struct {
+	Rules []*match.Rule
+	WMEs  []InitialWME
+}
+
+// AbortPolicy selects how the dynamic engine treats Rc holders that
+// conflict with a committing writer (Section 4.3, rule (ii)).
+type AbortPolicy uint8
+
+const (
+	// AbortAlways unconditionally aborts every conflicting Rc holder —
+	// the paper's base rule (ii).
+	AbortAlways AbortPolicy = iota
+	// AbortReevaluate re-evaluates the victim's condition first and
+	// spares it when the writer's update left its instantiation intact —
+	// the paper's noted alternative, "at the expense of increased
+	// overhead".
+	AbortReevaluate
+)
+
+// String names the policy.
+func (p AbortPolicy) String() string {
+	if p == AbortAlways {
+		return "always"
+	}
+	return "reevaluate"
+}
+
+// Options configures an engine. The zero value selects Rete matching,
+// the LEX strategy, and a 10000-firing safety bound.
+type Options struct {
+	// Matcher selects the match algorithm: "rete" (default), "treat"
+	// or "naive".
+	Matcher string
+	// MatchShards, when above 1, enables intra-phase match parallelism
+	// (Section 2): rules are partitioned across that many matcher
+	// shards whose updates run concurrently.
+	MatchShards int
+	// Strategy is the conflict-resolution strategy; nil means LEX.
+	Strategy cr.Strategy
+	// MaxFirings bounds the number of commits; 0 means 10000. When the
+	// bound is hit the run stops with Result.LimitHit set.
+	MaxFirings int
+	// Np is the worker (processor) count for parallel engines; 0 means 4.
+	Np int
+	// AbortPolicy selects victim handling in the dynamic engine.
+	AbortPolicy AbortPolicy
+	// Deadlock selects the lock manager's deadlock policy for the
+	// dynamic engine: detection (default), wound-wait or wait-die.
+	Deadlock lock.DeadlockPolicy
+	// Verify recomputes the rule's matches from scratch against the
+	// shared store at every commit and fails the run if the committing
+	// instantiation is not active — a runtime check of the semantic
+	// consistency condition.
+	Verify bool
+	// RuleDelay simulates per-rule action cost (Section 5's execution
+	// times) by sleeping inside the firing.
+	RuleDelay map[string]time.Duration
+	// CondDelay simulates per-rule condition-evaluation cost: the
+	// dynamic engine sleeps after acquiring the Rc locks and before
+	// requesting the Ra/Wa locks, widening the window in which Rc
+	// locks are held alone (the window Figures 4.3–4.4 reason about).
+	CondDelay map[string]time.Duration
+	// Log receives events; nil means a fresh log.
+	Log *trace.Log
+	// WAL, when non-nil, receives every committed working-memory delta
+	// (write-ahead logging for the paper's knowledge-persistence
+	// motivation; recover with wm.ReadSnapshot + wm.ReplayWAL).
+	WAL *wm.WAL
+}
+
+// logDelta appends a committed delta to the configured WAL, if any.
+func (o *Options) logDelta(d *wm.Delta) error {
+	if o.WAL == nil {
+		return nil
+	}
+	return o.WAL.Append(d)
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Matcher == "" {
+		out.Matcher = "rete"
+	}
+	if out.Strategy == nil {
+		out.Strategy = cr.LEX{}
+	}
+	if out.MaxFirings == 0 {
+		out.MaxFirings = 10000
+	}
+	if out.Np == 0 {
+		out.Np = 4
+	}
+	if out.Log == nil {
+		out.Log = trace.New()
+	}
+	return out
+}
+
+// ErrInconsistent is returned when Verify detects a commit of an
+// inactive instantiation — a violation of Definition 3.2.
+var ErrInconsistent = errors.New("engine: semantic consistency violation")
+
+// Result summarises a run.
+type Result struct {
+	// Firings is the number of committed productions.
+	Firings int
+	// Aborts counts aborted executions (deadlock or Rc–Wa victims).
+	Aborts int
+	// Skips counts dispatched instantiations found stale before
+	// execution.
+	Skips int
+	// Cycles counts recognize-act cycles (single-thread) or dispatch
+	// rounds (parallel).
+	Cycles int
+	// Halted reports that a halt action stopped the run.
+	Halted bool
+	// LimitHit reports that MaxFirings stopped the run.
+	LimitHit bool
+	// Log is the event log of the run.
+	Log *trace.Log
+	// Store is the final working memory.
+	Store *wm.Store
+}
+
+// newMatcher builds the selected matcher, optionally sharded for
+// intra-phase match parallelism.
+func newMatcher(name string, shards int) (match.Matcher, error) {
+	factory, err := matcherFactory(name)
+	if err != nil {
+		return nil, err
+	}
+	if shards > 1 {
+		return match.NewSharded(shards, factory), nil
+	}
+	return factory(), nil
+}
+
+func matcherFactory(name string) (func() match.Matcher, error) {
+	switch name {
+	case "rete":
+		return func() match.Matcher { return rete.New() }, nil
+	case "treat":
+		return func() match.Matcher { return treat.New() }, nil
+	case "naive":
+		return func() match.Matcher { return match.NewNaive() }, nil
+	}
+	return nil, fmt.Errorf("engine: unknown matcher %q", name)
+}
+
+// load builds the store and matcher for a program: rules first, then
+// the initial working memory.
+func load(p Program, o Options) (*wm.Store, match.Matcher, error) {
+	m, err := newMatcher(o.Matcher, o.MatchShards)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range p.Rules {
+		if err := m.AddRule(r); err != nil {
+			return nil, nil, err
+		}
+	}
+	store := wm.NewStore()
+	for _, iw := range p.WMEs {
+		m.Insert(store.Insert(iw.Class, iw.Attrs))
+	}
+	return store, m, nil
+}
+
+// fingerprints renders the matched WMEs' contents for the trace log.
+func fingerprints(in *match.Instantiation) []string {
+	out := make([]string, len(in.WMEs))
+	for i, w := range in.WMEs {
+		out[i] = w.String()
+	}
+	return out
+}
+
+// verifyActive recomputes the rule's instantiations against the store
+// and reports whether the instantiation is genuinely active.
+func verifyActive(store *wm.Store, in *match.Instantiation) bool {
+	for _, fresh := range match.MatchRule(store, in.Rule) {
+		if fresh.Key() == in.Key() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pdps/internal/lock"
+	"pdps/internal/match"
+	"pdps/internal/stats"
+	"pdps/internal/trace"
+	"pdps/internal/wm"
+)
+
+// Parallel is the multiple execution thread mechanism with the dynamic
+// (locking) approach of Sections 4.2–4.3. Every active instantiation
+// is dispatched to a goroutine worker that fires it as a transaction:
+// Rc locks for the condition, Ra/Wa locks at RHS start, atomic commit
+// of the working-memory delta, incremental re-match, and — under the
+// improved scheme — commit-time abort of conflicting Rc holders.
+type Parallel struct {
+	opts   Options
+	scheme lock.Scheme
+
+	store    *wm.Store
+	lm       *lock.Manager
+	mu       sync.Mutex // guards the fields below plus matcher and dispatch state
+	cond     *sync.Cond
+	matcher  match.Matcher
+	fired    map[string]bool
+	inflight map[string]bool
+	txnInst  map[lock.TxnID]string
+	// retries counts aborts per instantiation key; re-dispatched
+	// firings back off proportionally so two productions that
+	// repeatedly deadlock against each other break lockstep.
+	retries map[string]int
+	running int
+	halted  bool
+	limit   bool
+	runErr  error
+
+	firings int
+	aborts  int
+	skips   int
+	rounds  int
+
+	// latency records fire-to-commit durations of successful firings.
+	latency stats.Histogram
+
+	sem chan struct{}
+	wg  sync.WaitGroup
+}
+
+// FiringLatency returns the histogram of fire-to-commit latencies.
+func (e *Parallel) FiringLatency() *stats.Histogram { return &e.latency }
+
+// NewParallel builds a dynamic parallel engine using the given locking
+// scheme (lock.Scheme2PL or lock.SchemeRcRaWa).
+func NewParallel(p Program, scheme lock.Scheme, opts Options) (*Parallel, error) {
+	o := opts.withDefaults()
+	store, m, err := load(p, o)
+	if err != nil {
+		return nil, err
+	}
+	e := &Parallel{
+		opts:     o,
+		scheme:   scheme,
+		store:    store,
+		lm:       lock.NewManagerPolicy(scheme, o.Deadlock),
+		matcher:  m,
+		fired:    make(map[string]bool),
+		inflight: make(map[string]bool),
+		txnInst:  make(map[lock.TxnID]string),
+		retries:  make(map[string]int),
+		sem:      make(chan struct{}, o.Np),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e, nil
+}
+
+// Store exposes the engine's working memory.
+func (e *Parallel) Store() *wm.Store { return e.store }
+
+// LockStats returns the lock manager's counters.
+func (e *Parallel) LockStats() lock.Stats { return e.lm.Stats() }
+
+// Run dispatches active instantiations to workers until quiescence
+// (no unfired instantiation and no in-flight firing), a halt action,
+// an error, or the firing limit.
+func (e *Parallel) Run() (Result, error) {
+	e.mu.Lock()
+	for {
+		if e.stopLocked() {
+			break
+		}
+		cands := e.readyLocked()
+		if len(cands) == 0 {
+			if e.running == 0 {
+				break
+			}
+			e.cond.Wait()
+			continue
+		}
+		e.rounds++
+		for _, in := range cands {
+			e.inflight[in.Key()] = true
+			e.running++
+			e.wg.Add(1)
+			go e.worker(in)
+		}
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := Result{
+		Firings:  e.firings,
+		Aborts:   e.aborts,
+		Skips:    e.skips,
+		Cycles:   e.rounds,
+		Halted:   e.halted,
+		LimitHit: e.limit,
+		Log:      e.opts.Log,
+		Store:    e.store,
+	}
+	return res, e.runErr
+}
+
+// stopLocked reports whether dispatching must stop. Caller holds e.mu.
+func (e *Parallel) stopLocked() bool {
+	if e.firings >= e.opts.MaxFirings {
+		e.limit = true
+	}
+	return e.halted || e.limit || e.runErr != nil
+}
+
+// readyLocked returns active instantiations that are neither fired nor
+// in flight. Caller holds e.mu.
+func (e *Parallel) readyLocked() []*match.Instantiation {
+	var out []*match.Instantiation
+	for _, in := range e.matcher.ConflictSet().All() {
+		k := in.Key()
+		if !e.fired[k] && !e.inflight[k] {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// worker fires one instantiation as a transaction.
+func (e *Parallel) worker(in *match.Instantiation) {
+	defer e.wg.Done()
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	key := in.Key()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inflight, key)
+		e.running--
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}()
+
+	// Back off retried firings so repeated abort cycles (e.g. the
+	// mutual deadlock of Figure 4.4 under 2PL) cannot livelock.
+	e.mu.Lock()
+	retry := e.retries[key]
+	e.mu.Unlock()
+	if retry > 0 {
+		d := time.Duration(retry) * 500 * time.Microsecond
+		if max := 50 * time.Millisecond; d > max {
+			d = max
+		}
+		time.Sleep(d)
+	}
+
+	txn := e.lm.Begin()
+	e.mu.Lock()
+	e.txnInst[txn] = key
+	e.mu.Unlock()
+
+	finish := func() {
+		e.lm.End(txn)
+		e.mu.Lock()
+		delete(e.txnInst, txn)
+		e.mu.Unlock()
+	}
+	abort := func(reason string) {
+		e.opts.Log.Append(trace.Event{Kind: trace.KindAbort, Rule: in.Rule.Name,
+			Inst: key, Txn: int64(txn), Detail: reason})
+		e.mu.Lock()
+		e.aborts++
+		e.retries[key]++
+		e.mu.Unlock()
+		finish()
+	}
+	skip := func(reason string) {
+		e.opts.Log.Append(trace.Event{Kind: trace.KindSkip, Rule: in.Rule.Name,
+			Inst: key, Txn: int64(txn), Detail: reason})
+		e.mu.Lock()
+		e.skips++
+		e.mu.Unlock()
+		finish()
+	}
+
+	// Phase 1: Rc locks for condition evaluation (Figure 4.2).
+	for _, res := range rcResources(in) {
+		if err := e.lm.Acquire(txn, res, lock.Rc); err != nil {
+			abort("rc: " + err.Error())
+			return
+		}
+	}
+
+	// Condition re-evaluation under Rc locks: the instantiation may
+	// have been invalidated by a commit since dispatch.
+	e.mu.Lock()
+	active := e.matcher.ConflictSet().Contains(key) && !e.fired[key] && !e.stopLocked()
+	e.mu.Unlock()
+	if !active {
+		skip("stale before execution")
+		return
+	}
+
+	e.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: key, Txn: int64(txn)})
+	fireStart := time.Now()
+
+	// Simulated condition-evaluation cost: Rc locks held, RHS locks
+	// not yet requested — the Figure 4.3/4.4 window.
+	if d := e.opts.CondDelay[in.Rule.Name]; d > 0 {
+		time.Sleep(d)
+	}
+
+	// Phase 2: all Ra and Wa locks at RHS start (Section 4.3).
+	for _, l := range rhsLocks(in) {
+		if err := e.lm.Acquire(txn, l.res, l.mode); err != nil {
+			abort(l.mode.String() + ": " + err.Error())
+			return
+		}
+	}
+
+	// Action execution (simulated cost, then staged effects).
+	if d := e.opts.RuleDelay[in.Rule.Name]; d > 0 {
+		time.Sleep(d)
+	}
+	wtx := e.store.Begin()
+	halt, err := match.ExecuteActions(in, wtx)
+	if err != nil {
+		wtx.Abort()
+		e.fail(err)
+		abort("action error")
+		return
+	}
+
+	// Commit point: atomic under the engine mutex so the conflict set
+	// always reflects exactly the committed prefix.
+	e.mu.Lock()
+	if e.lm.Aborted(txn) {
+		e.mu.Unlock()
+		wtx.Abort()
+		abort("rc-wa victim")
+		return
+	}
+	if e.stopLocked() {
+		e.mu.Unlock()
+		wtx.Abort()
+		skip("engine stopping")
+		return
+	}
+	if !e.matcher.ConflictSet().Contains(key) || e.fired[key] {
+		e.mu.Unlock()
+		wtx.Abort()
+		abort("invalidated before commit")
+		return
+	}
+	if e.opts.Verify && !verifyActive(e.store, in) {
+		e.runErr = fmt.Errorf("%w: %s committed while inactive", ErrInconsistent, key)
+		e.mu.Unlock()
+		wtx.Abort()
+		abort("verify failed")
+		return
+	}
+	delta, err := wtx.Commit()
+	if err != nil {
+		e.runErr = err
+		e.mu.Unlock()
+		abort("commit error")
+		return
+	}
+	if err := e.opts.logDelta(delta); err != nil && e.runErr == nil {
+		e.runErr = err
+	}
+	for _, w := range delta.Removes {
+		e.matcher.Remove(w)
+	}
+	for _, w := range delta.Adds {
+		e.matcher.Insert(w)
+	}
+	e.fired[key] = true
+	e.firings++
+	e.latency.Observe(time.Since(fireStart))
+	// Rule (ii): abort conflicting Rc holders — unless the reevaluate
+	// policy finds their instantiation untouched by this commit.
+	for _, victim := range e.lm.RcVictims(txn) {
+		if e.opts.AbortPolicy == AbortReevaluate {
+			if vk, ok := e.txnInst[victim]; ok && e.matcher.ConflictSet().Contains(vk) && !e.fired[vk] {
+				continue
+			}
+		}
+		e.lm.Abort(victim)
+	}
+	if halt {
+		e.halted = true
+	}
+	e.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
+		Inst: key, Txn: int64(txn), WMEs: fingerprints(in)})
+	if halt {
+		e.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: key, Txn: int64(txn)})
+	}
+	e.mu.Unlock()
+	finish()
+}
+
+// fail records the first run error.
+func (e *Parallel) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.runErr == nil {
+		e.runErr = err
+	}
+}

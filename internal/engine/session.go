@@ -1,0 +1,151 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"pdps/internal/match"
+	"pdps/internal/trace"
+	"pdps/internal/wm"
+)
+
+// Session is an interactive single-thread interpreter: working memory
+// can be mutated between firings (assert/retract), the conflict set
+// inspected, and the recognize-act cycle stepped — the substrate for
+// the psshell tool.
+type Session struct {
+	opts    Options
+	rules   []*match.Rule
+	store   *wm.Store
+	matcher match.Matcher
+	fired   map[string]bool
+}
+
+// NewSession builds a session over the program.
+func NewSession(p Program, opts Options) (*Session, error) {
+	o := opts.withDefaults()
+	store, m, err := load(p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		opts:    o,
+		rules:   append([]*match.Rule(nil), p.Rules...),
+		store:   store,
+		matcher: m,
+		fired:   make(map[string]bool),
+	}, nil
+}
+
+// Store exposes the session's working memory. Mutate it only through
+// the session so the matcher stays in sync.
+func (s *Session) Store() *wm.Store { return s.store }
+
+// ConflictSet returns the current unfired instantiations.
+func (s *Session) ConflictSet() []*match.Instantiation {
+	var out []*match.Instantiation
+	for _, in := range s.matcher.ConflictSet().All() {
+		if !s.fired[in.Key()] {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// AssertWME adds a tuple to working memory and updates the match state.
+func (s *Session) AssertWME(class string, attrs map[string]wm.Value) *wm.WME {
+	w := s.store.Insert(class, attrs)
+	s.matcher.Insert(w)
+	return w
+}
+
+// Retract removes the tuple with the given ID.
+func (s *Session) Retract(id int64) error {
+	w, ok := s.store.Remove(id)
+	if !ok {
+		return fmt.Errorf("engine: no WME with id %d", id)
+	}
+	s.matcher.Remove(w)
+	return nil
+}
+
+// Step fires one production (selected by the session's strategy) and
+// returns its rule name, or "" if the system is quiescent.
+func (s *Session) Step() (string, error) {
+	cands := s.ConflictSet()
+	if len(cands) == 0 {
+		return "", nil
+	}
+	in := s.opts.Strategy.Select(cands)
+	key := in.Key()
+	s.fired[key] = true
+	tx := s.store.Begin()
+	halt, err := match.ExecuteActions(in, tx)
+	if err != nil {
+		tx.Abort()
+		return "", err
+	}
+	delta, err := tx.Commit()
+	if err != nil {
+		return "", err
+	}
+	if err := s.opts.logDelta(delta); err != nil {
+		return "", err
+	}
+	for _, w := range delta.Removes {
+		s.matcher.Remove(w)
+	}
+	for _, w := range delta.Adds {
+		s.matcher.Insert(w)
+	}
+	s.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
+		Inst: key, WMEs: fingerprints(in)})
+	if halt {
+		return in.Rule.Name, nil
+	}
+	return in.Rule.Name, nil
+}
+
+// Run fires up to max productions and returns how many fired.
+func (s *Session) Run(max int) (int, error) {
+	n := 0
+	for n < max {
+		name, err := s.Step()
+		if err != nil {
+			return n, err
+		}
+		if name == "" {
+			return n, nil
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Log returns the session's trace log.
+func (s *Session) Log() *trace.Log { return s.opts.Log }
+
+// LoadSnapshot replaces the session's working memory with a snapshot
+// and rebuilds the match state; refraction history is reset.
+func (s *Session) LoadSnapshot(r io.Reader) error {
+	store, err := wm.ReadSnapshot(r)
+	if err != nil {
+		return err
+	}
+	m, err := newMatcher(s.opts.Matcher, s.opts.MatchShards)
+	if err != nil {
+		return err
+	}
+	for _, rule := range s.rules {
+		if err := m.AddRule(rule); err != nil {
+			return err
+		}
+	}
+	for _, w := range store.All() {
+		m.Insert(w)
+	}
+	s.store = store
+	s.matcher = m
+	s.fired = make(map[string]bool)
+	return nil
+}

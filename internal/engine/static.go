@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"pdps/internal/match"
+	"pdps/internal/trace"
+	"pdps/internal/wm"
+)
+
+// Static is the multiple-thread static approach (Section 4.1): before
+// each execute phase, the candidate instantiations are partitioned by
+// the pre-computed rule-interference relation, and one group of
+// pairwise non-interfering productions fires in parallel. Theorem 1:
+// because members update non-overlapping parts of working memory, the
+// batch is equivalent to firing its members in any serial order.
+type Static struct {
+	opts    Options
+	store   *wm.Store
+	matcher match.Matcher
+	fired   map[string]bool
+	// interferes[a][b] caches match.Interferes for rule names a, b.
+	interferes map[string]map[string]bool
+}
+
+// NewStatic builds a static-partition parallel engine. The pairwise
+// rule-interference matrix is computed once, up front — the paper's
+// pre-execution analysis.
+func NewStatic(p Program, opts Options) (*Static, error) {
+	o := opts.withDefaults()
+	store, m, err := load(p, o)
+	if err != nil {
+		return nil, err
+	}
+	inter := make(map[string]map[string]bool, len(p.Rules))
+	for _, a := range p.Rules {
+		row := make(map[string]bool, len(p.Rules))
+		for _, b := range p.Rules {
+			row[b.Name] = match.Interferes(a, b)
+		}
+		inter[a.Name] = row
+	}
+	return &Static{opts: o, store: store, matcher: m,
+		fired: make(map[string]bool), interferes: inter}, nil
+}
+
+// Store exposes the engine's working memory.
+func (e *Static) Store() *wm.Store { return e.store }
+
+// Interferes reports the cached interference relation between two
+// rules (exposed for tests and the psbench harness).
+func (e *Static) Interferes(a, b string) bool { return e.interferes[a][b] }
+
+// Run executes batched cycles until no unfired instantiation remains,
+// a halt fires, or MaxFirings is hit.
+func (e *Static) Run() (Result, error) {
+	res := Result{Log: e.opts.Log, Store: e.store}
+	for {
+		if res.Firings >= e.opts.MaxFirings {
+			res.LimitHit = true
+			return res, nil
+		}
+		var cands []*match.Instantiation
+		for _, in := range e.matcher.ConflictSet().All() {
+			if !e.fired[in.Key()] {
+				cands = append(cands, in)
+			}
+		}
+		if len(cands) == 0 {
+			return res, nil
+		}
+		res.Cycles++
+		batch := e.batch(cands)
+		if res.Firings+len(batch) > e.opts.MaxFirings {
+			batch = batch[:e.opts.MaxFirings-res.Firings]
+		}
+
+		// Execute the batch in parallel, each firing staging into its
+		// own transaction. Np bounds worker concurrency.
+		txs := make([]*wm.Txn, len(batch))
+		halts := make([]bool, len(batch))
+		errs := make([]error, len(batch))
+		sem := make(chan struct{}, e.opts.Np)
+		var wg sync.WaitGroup
+		for i, in := range batch {
+			wg.Add(1)
+			go func(i int, in *match.Instantiation) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				e.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: in.Key()})
+				if d := e.opts.RuleDelay[in.Rule.Name]; d > 0 {
+					time.Sleep(d)
+				}
+				tx := e.store.Begin()
+				halts[i], errs[i] = match.ExecuteActions(in, tx)
+				txs[i] = tx
+			}(i, in)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				for _, tx := range txs {
+					if tx != nil {
+						tx.Abort()
+					}
+				}
+				return res, err
+			}
+		}
+
+		// Commit sequentially in batch order: by Theorem 1 this is
+		// equivalent to any other serial order of the batch.
+		halted := false
+		for i, in := range batch {
+			if e.opts.Verify && !verifyActive(e.store, in) {
+				return res, ErrInconsistent
+			}
+			delta, err := txs[i].Commit()
+			if err != nil {
+				return res, err
+			}
+			if err := e.opts.logDelta(delta); err != nil {
+				return res, err
+			}
+			for _, w := range delta.Removes {
+				e.matcher.Remove(w)
+			}
+			for _, w := range delta.Adds {
+				e.matcher.Insert(w)
+			}
+			e.fired[in.Key()] = true
+			res.Firings++
+			e.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
+				Inst: in.Key(), WMEs: fingerprints(in)})
+			if halts[i] {
+				halted = true
+				e.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: in.Key()})
+			}
+		}
+		if halted {
+			res.Halted = true
+			return res, nil
+		}
+	}
+}
+
+// batch greedily builds a set of candidates whose rules are pairwise
+// non-interfering, seeded by the strategy's selection. As a runtime
+// guard against the granularity problem the paper discusses (two
+// attribute-disjoint modifies hitting the same tuple), members must
+// also target disjoint WMEs.
+func (e *Static) batch(cands []*match.Instantiation) []*match.Instantiation {
+	seed := e.opts.Strategy.Select(cands)
+	batch := []*match.Instantiation{seed}
+	writes := writeTargets(seed)
+	for _, in := range cands {
+		if in == seed {
+			continue
+		}
+		ok := true
+		for _, member := range batch {
+			if e.interferes[in.Rule.Name][member.Rule.Name] || e.interferes[member.Rule.Name][in.Rule.Name] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		tw := writeTargets(in)
+		for id := range tw {
+			if writes[id] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		batch = append(batch, in)
+		for id := range tw {
+			writes[id] = true
+		}
+	}
+	return batch
+}
+
+// writeTargets returns the IDs of the WMEs an instantiation will
+// modify or remove.
+func writeTargets(in *match.Instantiation) map[int64]bool {
+	out := make(map[int64]bool)
+	for _, a := range in.Rule.Actions {
+		if a.Kind == match.ActModify || a.Kind == match.ActRemove {
+			out[in.WMEs[a.CE].ID] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"pdps/internal/lock"
+	"pdps/internal/wm"
+)
+
+// TestWALRecoveryAllEngines runs each engine with write-ahead logging
+// enabled, then recovers a store from the initial snapshot plus the
+// log and requires it to equal the engine's final working memory —
+// the paper's knowledge-persistence motivation made concrete.
+func TestWALRecoveryAllEngines(t *testing.T) {
+	builders := map[string]func(Program, Options) (interface {
+		Run() (Result, error)
+		Store() *wm.Store
+	}, error){
+		"single": func(p Program, o Options) (interface {
+			Run() (Result, error)
+			Store() *wm.Store
+		}, error) {
+			return NewSingle(p, o)
+		},
+		"parallel-2pl": func(p Program, o Options) (interface {
+			Run() (Result, error)
+			Store() *wm.Store
+		}, error) {
+			return NewParallel(p, lock.Scheme2PL, o)
+		},
+		"parallel-rcrawa": func(p Program, o Options) (interface {
+			Run() (Result, error)
+			Store() *wm.Store
+		}, error) {
+			return NewParallel(p, lock.SchemeRcRaWa, o)
+		},
+		"static": func(p Program, o Options) (interface {
+			Run() (Result, error)
+			Store() *wm.Store
+		}, error) {
+			return NewStatic(p, o)
+		},
+	}
+	for name, build := range builders {
+		t.Run(name, func(t *testing.T) {
+			prog := tallyProgram(4, 3)
+
+			// Snapshot the initial working memory by loading the same
+			// program into a plain store.
+			base := wm.NewStore()
+			for _, iw := range prog.WMEs {
+				base.Insert(iw.Class, iw.Attrs)
+			}
+			var snap bytes.Buffer
+			if err := base.WriteSnapshot(&snap); err != nil {
+				t.Fatal(err)
+			}
+
+			var logBuf bytes.Buffer
+			wal, err := wm.NewWAL(&logBuf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := build(prog, Options{Np: 4, WAL: wal})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wal.Records() != res.Firings {
+				t.Fatalf("wal records = %d, firings = %d", wal.Records(), res.Firings)
+			}
+
+			recovered, err := wm.ReadSnapshot(&snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			applied, err := wm.ReplayWAL(bytes.NewReader(logBuf.Bytes()), recovered)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if applied != res.Firings {
+				t.Fatalf("applied = %d, want %d", applied, res.Firings)
+			}
+
+			final := eng.Store()
+			if recovered.Len() != final.Len() {
+				t.Fatalf("recovered %d WMEs, want %d", recovered.Len(), final.Len())
+			}
+			for _, w := range final.All() {
+				got, ok := recovered.Get(w.ID)
+				if !ok || !got.EqualContent(w) || got.TimeTag != w.TimeTag {
+					t.Fatalf("WME %d differs after recovery: %v vs %v", w.ID, got, w)
+				}
+			}
+		})
+	}
+}

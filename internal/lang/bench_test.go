@@ -1,0 +1,36 @@
+package lang
+
+import (
+	"testing"
+
+	"pdps/internal/workload"
+)
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(sample); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseLargeProgram(b *testing.B) {
+	src := Format(workload.Pipeline(200, 8))
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormat(b *testing.B) {
+	prog := workload.Pipeline(200, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(Format(prog)) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lang
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that anything it
+// accepts round-trips through the printer to an equivalent program.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sample,
+		"(p r (a) --> (halt))",
+		"(p r (a ^v <x>) -(b ^v <x>) --> (make c ^v (+ <x> 1)))",
+		"(wme a ^v 1 ^s sym ^t \"str\" ^b true)",
+		"(p r :priority -3 :reads 1 (a ^v <x>) --> (modify 1 ^v <x>))",
+		"(p r (a ^v >= 2.5) --> (remove 1))",
+		"; just a comment",
+		"(p r (a ^v <> 0) --> (remove 1)) (wme a ^v -1)",
+		"((((",
+		")",
+		"(p",
+		"(p r (a ^",
+		`(p r (a ^v "unterminated`,
+		"(wme a ^v <var>)",
+		"(p r (a ^v 1e) --> (halt))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Format(prog)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printer output does not re-parse: %v\ninput: %q\nprinted:\n%s", err, src, text)
+		}
+		if len(again.Rules) != len(prog.Rules) || len(again.WMEs) != len(prog.WMEs) {
+			t.Fatalf("round-trip changed declaration counts\ninput: %q", src)
+		}
+		if Format(again) != text {
+			t.Fatalf("printer not idempotent\nfirst:\n%s\nsecond:\n%s", text, Format(again))
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"pdps/internal/engine"
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+const sample = `
+; parts ready on a free machine get processed
+(p process :priority 2
+  (part ^id <x> ^status ready ^weight >= 2.5)
+  (machine ^accepts <x> ^free true)
+  -(hold ^part <x>)
+  -->
+  (modify 1 ^status done ^count (+ <x> 1))
+  (make log ^part <x> ^note "processed\n"))
+
+(p cleanup
+  (log ^part <p>)
+  -->
+  (remove 1)
+  (halt))
+
+(wme part ^id 1 ^status ready ^weight 3.5)
+(wme machine ^accepts 1 ^free true)
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 || len(prog.WMEs) != 2 {
+		t.Fatalf("rules=%d wmes=%d, want 2/2", len(prog.Rules), len(prog.WMEs))
+	}
+	r := prog.Rules[0]
+	if r.Name != "process" || r.Priority != 2 {
+		t.Fatalf("rule header wrong: %+v", r)
+	}
+	if len(r.Conditions) != 3 || !r.Conditions[2].Negated {
+		t.Fatalf("conditions wrong: %v", r.Conditions)
+	}
+	w := r.Conditions[0]
+	if len(w.Tests) != 3 {
+		t.Fatalf("part tests = %v", w.Tests)
+	}
+	if w.Tests[0].Var != "x" || w.Tests[0].Op != match.OpEq {
+		t.Errorf("id test wrong: %+v", w.Tests[0])
+	}
+	if !w.Tests[1].Const.Equal(wm.Sym("ready")) {
+		t.Errorf("status test wrong: %+v", w.Tests[1])
+	}
+	if w.Tests[2].Op != match.OpGe || !w.Tests[2].Const.Equal(wm.Float(2.5)) {
+		t.Errorf("weight test wrong: %+v", w.Tests[2])
+	}
+	if len(r.Actions) != 2 || r.Actions[0].Kind != match.ActModify || r.Actions[0].CE != 0 {
+		t.Fatalf("actions wrong: %v", r.Actions)
+	}
+	if _, isBin := r.Actions[0].Assigns[1].Expr.(match.BinExpr); !isBin {
+		t.Errorf("count expr should be arithmetic: %v", r.Actions[0].Assigns[1].Expr)
+	}
+	mk := r.Actions[1]
+	if mk.Kind != match.ActMake || mk.Class != "log" {
+		t.Errorf("make wrong: %+v", mk)
+	}
+	if !mk.Assigns[1].Expr.(match.ConstExpr).Val.Equal(wm.Str("processed\n")) {
+		t.Errorf("string escape lost: %v", mk.Assigns[1].Expr)
+	}
+	if prog.Rules[1].Actions[1].Kind != match.ActHalt {
+		t.Errorf("halt missing")
+	}
+	if !prog.WMEs[0].Attrs["weight"].Equal(wm.Float(3.5)) {
+		t.Errorf("wme attrs wrong: %v", prog.WMEs[0])
+	}
+}
+
+func TestParsedProgramRuns(t *testing.T) {
+	prog := MustParse(sample)
+	e, err := engine.NewSingle(prog, engine.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// process fires, then cleanup fires and halts.
+	if res.Firings != 2 || !res.Halted {
+		t.Fatalf("firings=%d halted=%v, want 2/true", res.Firings, res.Halted)
+	}
+	part := e.Store().ByClass("part")
+	if len(part) != 1 || !part[0].Attr("status").Equal(wm.Sym("done")) {
+		t.Fatalf("part not processed: %v", part)
+	}
+	if !part[0].Attr("count").Equal(wm.Int(2)) {
+		t.Fatalf("count = %v, want 2", part[0].Attr("count"))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog := MustParse(sample)
+	text := Format(prog)
+	again, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if Format(again) != text {
+		t.Fatalf("round-trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, Format(again))
+	}
+	if len(again.Rules) != len(prog.Rules) || len(again.WMEs) != len(prog.WMEs) {
+		t.Fatal("round-trip lost declarations")
+	}
+}
+
+func TestReadsOption(t *testing.T) {
+	prog, err := Parse(`
+(p r :reads 1
+  (a ^v <x>)
+  -->
+  (modify 1 ^v (+ <x> 1)))
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules[0].ActionReads) != 1 || prog.Rules[0].ActionReads[0] != 0 {
+		t.Fatalf("ActionReads = %v", prog.Rules[0].ActionReads)
+	}
+	// Round-trips too.
+	if !strings.Contains(Format(prog), ":reads 1") {
+		t.Fatal("printer dropped :reads")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"(q foo)", "expected 'p' or 'wme'"},
+		{"(p)", "rule name"},
+		{"(p r (a) -->)", "no actions"},
+		{"(p r --> (halt))", "no condition"},
+		{"(p r :priority x (a) --> (halt))", "priority value"},
+		{"(p r :reads (a) --> (halt))", ":reads needs"},
+		{"(p r :bogus (a) --> (halt))", "unknown option"},
+		{"(p r (a ^v) --> (halt))", "expected value or variable"},
+		{"(p r (a) --> (frob))", "unknown action"},
+		{"(p r (a) --> (modify x))", "CE index"},
+		{"(p r (a) --> (make b ^v (bad 1 2)))", "arithmetic operator"},
+		{"(p r (a) --> (make b ^v (+ 1)))", "expected expression"},
+		{"(wme)", "class name"},
+		{"(wme a ^v <x>)", "expected value"},
+		{`(p r (a ^v "unterminated) --> (halt))`, "unterminated string"},
+		{"(p r (a ^v <x) --> (halt))", "missing closing"},
+		{"(p dup (a) --> (halt)) (p dup (a) --> (halt))", "duplicate rule"},
+		{"(p r (a ^v <y>) --> (halt))", ""}, // validation: unbound? <y> binds; fine — covered below
+	}
+	for _, c := range cases {
+		if c.frag == "" {
+			continue
+		}
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("(p r\n  (a ^v ,bad)\n  --> (halt))")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Line != 2 {
+		t.Errorf("line = %d, want 2", le.Line)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lexAll(`(p -7 2.5 "s" <v> <> <= >= > < = --> -(x) + * / %) ; comment`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]tokKind, 0, len(toks))
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokKind{
+		tokLParen, tokIdent, tokInt, tokFloat, tokString, tokVar,
+		tokOp, tokOp, tokOp, tokOp, tokOp, tokOp, tokArrow,
+		tokNeg, tokLParen, tokIdent, tokRParen,
+		tokOp, tokOp, tokOp, tokOp, tokRParen, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v (%q), want %v", i, kinds[i], toks[i].text, want[i])
+		}
+	}
+}
+
+func TestNegativeNumbersAndMinusOp(t *testing.T) {
+	prog, err := Parse(`
+(p r
+  (a ^v > -5)
+  -->
+  (make b ^v (- 0 -3)))
+(wme a ^v -2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.WMEs[0].Attrs["v"].Equal(wm.Int(-2)) {
+		t.Fatalf("negative literal lost: %v", prog.WMEs[0])
+	}
+	e, err := engine.NewSingle(prog, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 1 {
+		t.Fatalf("firings = %d", res.Firings)
+	}
+	b := e.Store().ByClass("b")
+	if len(b) != 1 || !b[0].Attr("v").Equal(wm.Int(3)) {
+		t.Fatalf("b = %v, want v 3", b)
+	}
+}

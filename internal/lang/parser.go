@@ -1,0 +1,447 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+
+	"pdps/internal/engine"
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// Parse reads a program source: any number of productions
+// (p name ...) and initial working memory declarations (wme class ...),
+// in any order. Every rule is validated.
+func Parse(src string) (engine.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return engine.Program{}, err
+	}
+	var prog engine.Program
+	for p.tok.kind != tokEOF {
+		if err := p.expect(tokLParen); err != nil {
+			return engine.Program{}, err
+		}
+		head, err := p.ident("'p' or 'wme'")
+		if err != nil {
+			return engine.Program{}, err
+		}
+		switch head {
+		case "p":
+			r, err := p.production()
+			if err != nil {
+				return engine.Program{}, err
+			}
+			if err := r.Validate(); err != nil {
+				return engine.Program{}, err
+			}
+			for _, existing := range prog.Rules {
+				if existing.Name == r.Name {
+					return engine.Program{}, p.errf("duplicate rule %s", r.Name)
+				}
+			}
+			prog.Rules = append(prog.Rules, r)
+		case "wme":
+			w, err := p.wmeDecl()
+			if err != nil {
+				return engine.Program{}, err
+			}
+			prog.WMEs = append(prog.WMEs, w)
+		default:
+			return engine.Program{}, p.errf("expected 'p' or 'wme', got %q", head)
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics; for fixtures and examples.
+func MustParse(src string) engine.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// ParseWME reads a single tuple literal "(class ^attr value ...)" —
+// the shape psshell's assert command takes.
+func ParseWME(src string) (engine.InitialWME, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return engine.InitialWME{}, err
+	}
+	if err := p.expect(tokLParen); err != nil {
+		return engine.InitialWME{}, err
+	}
+	w, err := p.wmeDecl()
+	if err != nil {
+		return engine.InitialWME{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return engine.InitialWME{}, p.errf("trailing input after tuple")
+	}
+	return w, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, got %s %q", k, p.tok.kind, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) ident(what string) (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errf("expected %s, got %s %q", what, p.tok.kind, p.tok.text)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+// production parses the remainder of "(p" up to the closing ")".
+func (p *parser) production() (*match.Rule, error) {
+	name, err := p.ident("rule name")
+	if err != nil {
+		return nil, err
+	}
+	r := &match.Rule{Name: name}
+
+	// Options: :priority N, :reads CE...
+	for p.tok.kind == tokKeyOpt {
+		opt := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch opt {
+		case "priority":
+			n, err := p.intLit("priority value")
+			if err != nil {
+				return nil, err
+			}
+			r.Priority = int(n)
+		case "reads":
+			for p.tok.kind == tokInt {
+				n, err := p.intLit("CE index")
+				if err != nil {
+					return nil, err
+				}
+				r.ActionReads = append(r.ActionReads, int(n)-1)
+			}
+			if len(r.ActionReads) == 0 {
+				return nil, p.errf(":reads needs at least one CE index")
+			}
+		default:
+			return nil, p.errf("unknown option :%s", opt)
+		}
+	}
+
+	// Condition elements until -->.
+	for p.tok.kind != tokArrow {
+		negated := false
+		if p.tok.kind == tokNeg {
+			negated = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		ce, err := p.conditionElement(negated)
+		if err != nil {
+			return nil, err
+		}
+		r.Conditions = append(r.Conditions, ce)
+	}
+	if err := p.advance(); err != nil { // consume -->
+		return nil, err
+	}
+
+	// Actions until the production's closing paren.
+	for p.tok.kind != tokRParen {
+		a, err := p.action()
+		if err != nil {
+			return nil, err
+		}
+		r.Actions = append(r.Actions, a)
+	}
+	return r, p.advance()
+}
+
+func (p *parser) intLit(what string) (int64, error) {
+	if p.tok.kind != tokInt {
+		return 0, p.errf("expected %s, got %s %q", what, p.tok.kind, p.tok.text)
+	}
+	n, err := strconv.ParseInt(p.tok.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", p.tok.text)
+	}
+	return n, p.advance()
+}
+
+// conditionElement parses "(class ^attr [op] value ...)".
+func (p *parser) conditionElement(negated bool) (match.Condition, error) {
+	var ce match.Condition
+	ce.Negated = negated
+	if err := p.expect(tokLParen); err != nil {
+		return ce, err
+	}
+	cls, err := p.ident("class name")
+	if err != nil {
+		return ce, err
+	}
+	ce.Class = cls
+	for p.tok.kind == tokAttr {
+		attr := p.tok.text
+		if err := p.advance(); err != nil {
+			return ce, err
+		}
+		// Value disjunction: ^attr << v1 v2 ... >>
+		if p.tok.kind == tokOp && p.tok.text == "<<" {
+			if err := p.advance(); err != nil {
+				return ce, err
+			}
+			var alts []wm.Value
+			for !(p.tok.kind == tokOp && p.tok.text == ">>") {
+				v, err := p.valueLit()
+				if err != nil {
+					return ce, err
+				}
+				alts = append(alts, v)
+			}
+			if err := p.advance(); err != nil { // consume >>
+				return ce, err
+			}
+			if len(alts) == 0 {
+				return ce, p.errf("empty value disjunction for ^%s", attr)
+			}
+			ce.Tests = append(ce.Tests, match.AttrTest{Attr: attr, OneOf: alts})
+			continue
+		}
+		op := match.OpEq
+		if p.tok.kind == tokOp {
+			op, err = parseOp(p.tok.text)
+			if err != nil {
+				return ce, p.errf("%v", err)
+			}
+			if err := p.advance(); err != nil {
+				return ce, err
+			}
+		}
+		t := match.AttrTest{Attr: attr, Op: op}
+		switch p.tok.kind {
+		case tokVar:
+			t.Var = p.tok.text
+		case tokInt, tokFloat, tokString, tokIdent:
+			v, err := p.valueLit()
+			if err != nil {
+				return ce, err
+			}
+			t.Const = v
+			ce.Tests = append(ce.Tests, t)
+			continue
+		default:
+			return ce, p.errf("expected value or variable after ^%s, got %s %q", attr, p.tok.kind, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return ce, err
+		}
+		ce.Tests = append(ce.Tests, t)
+	}
+	return ce, p.expect(tokRParen)
+}
+
+// valueLit parses a constant value at the current token and advances.
+func (p *parser) valueLit() (wm.Value, error) {
+	switch p.tok.kind {
+	case tokInt:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return wm.Nil(), p.errf("bad integer %q", p.tok.text)
+		}
+		return wm.Int(n), p.advance()
+	case tokFloat:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return wm.Nil(), p.errf("bad float %q", p.tok.text)
+		}
+		return wm.Float(f), p.advance()
+	case tokString:
+		s := p.tok.text
+		return wm.Str(s), p.advance()
+	case tokIdent:
+		switch p.tok.text {
+		case "true":
+			return wm.Bool(true), p.advance()
+		case "false":
+			return wm.Bool(false), p.advance()
+		case "nil":
+			return wm.Nil(), p.advance()
+		}
+		s := p.tok.text
+		return wm.Sym(s), p.advance()
+	}
+	return wm.Nil(), p.errf("expected value, got %s %q", p.tok.kind, p.tok.text)
+}
+
+func parseOp(text string) (match.Op, error) {
+	switch text {
+	case "=":
+		return match.OpEq, nil
+	case "<>":
+		return match.OpNe, nil
+	case "<":
+		return match.OpLt, nil
+	case "<=":
+		return match.OpLe, nil
+	case ">":
+		return match.OpGt, nil
+	case ">=":
+		return match.OpGe, nil
+	}
+	return 0, fmt.Errorf("unknown comparison operator %q", text)
+}
+
+// action parses "(make class ^a expr ...)", "(modify N ^a expr ...)",
+// "(remove N)" or "(halt)".
+func (p *parser) action() (match.Action, error) {
+	var a match.Action
+	if err := p.expect(tokLParen); err != nil {
+		return a, err
+	}
+	kw, err := p.ident("action keyword")
+	if err != nil {
+		return a, err
+	}
+	switch kw {
+	case "make":
+		a.Kind = match.ActMake
+		cls, err := p.ident("class name")
+		if err != nil {
+			return a, err
+		}
+		a.Class = cls
+	case "modify":
+		a.Kind = match.ActModify
+		n, err := p.intLit("CE index")
+		if err != nil {
+			return a, err
+		}
+		a.CE = int(n) - 1
+	case "remove":
+		a.Kind = match.ActRemove
+		n, err := p.intLit("CE index")
+		if err != nil {
+			return a, err
+		}
+		a.CE = int(n) - 1
+	case "halt":
+		a.Kind = match.ActHalt
+	default:
+		return a, p.errf("unknown action %q", kw)
+	}
+	for p.tok.kind == tokAttr {
+		attr := p.tok.text
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return a, err
+		}
+		a.Assigns = append(a.Assigns, match.AttrAssign{Attr: attr, Expr: e})
+	}
+	return a, p.expect(tokRParen)
+}
+
+// expr parses an RHS expression: literal, variable, or prefix
+// arithmetic "(op expr expr)".
+func (p *parser) expr() (match.Expr, error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		return match.VarExpr{Name: name}, p.advance()
+	case tokInt, tokFloat, tokString, tokIdent:
+		v, err := p.valueLit()
+		if err != nil {
+			return nil, err
+		}
+		return match.ConstExpr{Val: v}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp {
+			return nil, p.errf("expected arithmetic operator, got %s %q", p.tok.kind, p.tok.text)
+		}
+		var op match.ArithOp
+		switch p.tok.text {
+		case "+":
+			op = match.ArithAdd
+		case "-":
+			op = match.ArithSub
+		case "*":
+			op = match.ArithMul
+		case "/":
+			op = match.ArithDiv
+		case "%":
+			op = match.ArithMod
+		default:
+			return nil, p.errf("unknown arithmetic operator %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		l, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return match.BinExpr{Op: op, L: l, R: r}, nil
+	}
+	return nil, p.errf("expected expression, got %s %q", p.tok.kind, p.tok.text)
+}
+
+// wmeDecl parses the remainder of "(wme class ^attr value ...)".
+func (p *parser) wmeDecl() (engine.InitialWME, error) {
+	var w engine.InitialWME
+	cls, err := p.ident("class name")
+	if err != nil {
+		return w, err
+	}
+	w.Class = cls
+	w.Attrs = make(map[string]wm.Value)
+	for p.tok.kind == tokAttr {
+		attr := p.tok.text
+		if err := p.advance(); err != nil {
+			return w, err
+		}
+		v, err := p.valueLit()
+		if err != nil {
+			return w, err
+		}
+		w.Attrs[attr] = v
+	}
+	return w, p.expect(tokRParen)
+}

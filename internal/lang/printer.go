@@ -1,0 +1,116 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdps/internal/engine"
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// Format renders a program in the surface syntax; the output re-parses
+// to an equivalent program (round-trip).
+func Format(p engine.Program) string {
+	var b strings.Builder
+	for i, r := range p.Rules {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		formatRule(&b, r)
+	}
+	if len(p.Rules) > 0 && len(p.WMEs) > 0 {
+		b.WriteString("\n")
+	}
+	for _, w := range p.WMEs {
+		fmt.Fprintf(&b, "(wme %s", w.Class)
+		names := make([]string, 0, len(w.Attrs))
+		for k := range w.Attrs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, " ^%s %s", k, formatValue(w.Attrs[k]))
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+func formatRule(b *strings.Builder, r *match.Rule) {
+	fmt.Fprintf(b, "(p %s", r.Name)
+	if r.Priority != 0 {
+		fmt.Fprintf(b, " :priority %d", r.Priority)
+	}
+	if len(r.ActionReads) > 0 {
+		b.WriteString(" :reads")
+		for _, ce := range r.ActionReads {
+			fmt.Fprintf(b, " %d", ce+1)
+		}
+	}
+	for _, c := range r.Conditions {
+		b.WriteString("\n  ")
+		if c.Negated {
+			b.WriteString("-")
+		}
+		b.WriteString("(")
+		b.WriteString(c.Class)
+		for _, t := range c.Tests {
+			fmt.Fprintf(b, " ^%s", t.Attr)
+			switch {
+			case t.IsDisjunction():
+				b.WriteString(" <<")
+				for _, v := range t.OneOf {
+					fmt.Fprintf(b, " %s", formatValue(v))
+				}
+				b.WriteString(" >>")
+			case t.IsVar():
+				if t.Op != match.OpEq {
+					fmt.Fprintf(b, " %s", t.Op)
+				}
+				fmt.Fprintf(b, " <%s>", t.Var)
+			default:
+				if t.Op != match.OpEq {
+					fmt.Fprintf(b, " %s", t.Op)
+				}
+				fmt.Fprintf(b, " %s", formatValue(t.Const))
+			}
+		}
+		b.WriteString(")")
+	}
+	b.WriteString("\n  -->")
+	for _, a := range r.Actions {
+		b.WriteString("\n  (")
+		b.WriteString(a.Kind.String())
+		switch a.Kind {
+		case match.ActMake:
+			b.WriteString(" " + a.Class)
+		case match.ActModify, match.ActRemove:
+			fmt.Fprintf(b, " %d", a.CE+1)
+		}
+		for _, as := range a.Assigns {
+			fmt.Fprintf(b, " ^%s %s", as.Attr, formatExpr(as.Expr))
+		}
+		b.WriteString(")")
+	}
+	b.WriteString(")\n")
+}
+
+func formatExpr(e match.Expr) string {
+	switch x := e.(type) {
+	case match.ConstExpr:
+		return formatValue(x.Val)
+	case match.VarExpr:
+		return "<" + x.Name + ">"
+	case match.BinExpr:
+		return fmt.Sprintf("(%s %s %s)", x.Op, formatExpr(x.L), formatExpr(x.R))
+	}
+	return e.String()
+}
+
+func formatValue(v wm.Value) string {
+	// wm.Value.String already renders in surface syntax (symbols bare,
+	// strings quoted, booleans as true/false).
+	return v.String()
+}

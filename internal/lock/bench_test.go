@@ -1,0 +1,91 @@
+package lock
+
+import (
+	"sync"
+	"testing"
+)
+
+func BenchmarkAcquireReleaseUncontended(b *testing.B) {
+	m := NewManager(SchemeRcRaWa)
+	res := Resource{Class: "q", ID: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := m.Begin()
+		if err := m.Acquire(t, res, Rc); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Acquire(t, res, Wa); err != nil {
+			b.Fatal(err)
+		}
+		m.End(t)
+	}
+}
+
+func BenchmarkSharedReaders(b *testing.B) {
+	m := NewManager(SchemeRcRaWa)
+	res := Resource{Class: "q", ID: 1}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t := m.Begin()
+			if err := m.Acquire(t, res, Rc); err != nil {
+				b.Fatal(err)
+			}
+			m.End(t)
+		}
+	})
+}
+
+func BenchmarkRcVictims(b *testing.B) {
+	m := NewManager(SchemeRcRaWa)
+	res := Resource{Class: "q", ID: 1}
+	var readers []TxnID
+	for i := 0; i < 16; i++ {
+		t := m.Begin()
+		if err := m.Acquire(t, res, Rc); err != nil {
+			b.Fatal(err)
+		}
+		readers = append(readers, t)
+	}
+	w := m.Begin()
+	if err := m.Acquire(w, res, Wa); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.RcVictims(w); len(got) != 16 {
+			b.Fatalf("victims = %d", len(got))
+		}
+	}
+	b.StopTimer()
+	m.End(w)
+	for _, r := range readers {
+		m.End(r)
+	}
+}
+
+// BenchmarkHandoverContended measures lock transfer between goroutines
+// on one hot resource.
+func BenchmarkHandoverContended(b *testing.B) {
+	m := NewManager(SchemeRcRaWa)
+	res := Resource{Class: "q", ID: 1}
+	const workers = 4
+	var wg sync.WaitGroup
+	per := b.N/workers + 1
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				t := m.Begin()
+				if err := m.Acquire(t, res, Wa); err != nil {
+					b.Error(err)
+					m.End(t)
+					return
+				}
+				m.End(t)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package lock
+
+import "fmt"
+
+// DeadlockPolicy selects how the manager handles blocked acquisitions.
+// The paper (Section 4.3) observes that the non-exclusive Rc lock
+// introduces no new deadlocks, so "the deadlock prevention, avoidance,
+// detection or resolution schemes for standard 2-phase locking can be
+// applied" — all three classic schemes are provided.
+type DeadlockPolicy uint8
+
+const (
+	// DeadlockDetect (default) builds the waits-for graph on demand
+	// and aborts the youngest transaction of any cycle.
+	DeadlockDetect DeadlockPolicy = iota
+	// DeadlockWoundWait is the preemptive prevention scheme: an older
+	// requester wounds (aborts) younger lock holders; a younger
+	// requester waits for older holders. No cycles can form.
+	DeadlockWoundWait
+	// DeadlockWaitDie is the non-preemptive prevention scheme: an
+	// older requester waits; a younger requester dies (aborts itself)
+	// instead of waiting on an older holder.
+	DeadlockWaitDie
+)
+
+// String names the policy.
+func (p DeadlockPolicy) String() string {
+	switch p {
+	case DeadlockDetect:
+		return "detect"
+	case DeadlockWoundWait:
+		return "wound-wait"
+	case DeadlockWaitDie:
+		return "wait-die"
+	}
+	return fmt.Sprintf("DeadlockPolicy(%d)", uint8(p))
+}
+
+// resolveBlockedLocked applies the deadlock policy for transaction id
+// blocked by the given transactions. It returns abortSelf=true when
+// the requester must give up with ErrDeadlock; otherwise the requester
+// should (re-)wait. Caller holds m.mu.
+func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abortSelf bool) {
+	switch m.policy {
+	case DeadlockWoundWait:
+		// Wound every younger blocker; wait on older ones.
+		for b := range blockers {
+			if b > id {
+				m.abortLocked(b, ErrDeadlock)
+				m.stats.Deadlocks++
+			}
+		}
+		return false
+	case DeadlockWaitDie:
+		// Die if any blocker is older.
+		for b := range blockers {
+			if b < id {
+				m.stats.Deadlocks++
+				return true
+			}
+		}
+		return false
+	default: // DeadlockDetect
+		if victim := m.findDeadlockVictimLocked(id); victim != 0 {
+			m.abortLocked(victim, ErrDeadlock)
+			m.stats.Deadlocks++
+			if victim == id {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,522 @@
+// Package lock implements the concurrency-control substrate of the
+// paper's dynamic approach (Section 4): a lock manager supporting both
+// conventional two-phase locking and the paper's improved three-mode
+// scheme with Rc (condition-read), Ra (action-read) and Wa
+// (action-write) locks per Table 4.1. Under the improved scheme a Wa
+// lock is granted even while other productions hold Rc locks on the
+// same data — the Rc–Wa conflict is allowed to exist — and safety is
+// restored at commit time by aborting the Rc holders that lost the
+// race (Section 4.3, rules (i) and (ii)).
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mode is a lock mode. Modes are ordered by strength: Rc < Ra < Wa.
+type Mode uint8
+
+// The three lock modes of Section 4.3.
+const (
+	// Rc is the read lock acquired for condition (LHS) evaluation.
+	Rc Mode = iota
+	// Ra is the read lock acquired at the start of action execution.
+	Ra
+	// Wa is the write lock acquired at the start of action execution.
+	Wa
+)
+
+// String returns the paper's name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case Rc:
+		return "Rc"
+	case Ra:
+		return "Ra"
+	case Wa:
+		return "Wa"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Scheme selects the compatibility matrix.
+type Scheme uint8
+
+const (
+	// Scheme2PL is conventional two-phase locking: condition reads are
+	// ordinary shared locks held to commit, so Rc behaves as Ra
+	// (Section 4.2, Theorem 2).
+	Scheme2PL Scheme = iota
+	// SchemeRcRaWa is the improved scheme of Section 4.3 (Table 4.1).
+	SchemeRcRaWa
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	if s == Scheme2PL {
+		return "2pl"
+	}
+	return "rcrawa"
+}
+
+// Compatible reports whether a lock request of mode req can be granted
+// while another transaction holds mode held on the same data, per the
+// scheme's compatibility matrix. For SchemeRcRaWa this is Table 4.1;
+// note the deliberate asymmetry: held Rc admits a Wa request, but held
+// Wa rejects an Rc request.
+func Compatible(s Scheme, held, req Mode) bool {
+	if s == Scheme2PL {
+		if held == Rc {
+			held = Ra
+		}
+		if req == Rc {
+			req = Ra
+		}
+	}
+	switch held {
+	case Rc:
+		return true
+	case Ra:
+		return req != Wa
+	case Wa:
+		return false
+	}
+	return false
+}
+
+// Resource identifies a lockable datum: a tuple (Class, ID) or a whole
+// relation (ID == RelationLevel). Relation-level locks conflict with
+// every tuple lock of the class and vice versa — the escalation the
+// paper prescribes for negated (existence-dependent) conditions.
+type Resource struct {
+	Class string
+	ID    int64
+}
+
+// RelationLevel is the ID denoting a whole-relation resource.
+const RelationLevel int64 = 0
+
+// Relation returns the relation-level resource of a class.
+func Relation(class string) Resource { return Resource{Class: class, ID: RelationLevel} }
+
+// String renders the resource as class[id] or class[*].
+func (r Resource) String() string {
+	if r.ID == RelationLevel {
+		return r.Class + "[*]"
+	}
+	return fmt.Sprintf("%s[%d]", r.Class, r.ID)
+}
+
+// TxnID identifies one production-firing transaction. IDs are assigned
+// monotonically; deadlock resolution aborts the youngest (largest ID)
+// transaction in a cycle.
+type TxnID int64
+
+// Errors returned by Acquire.
+var (
+	// ErrDeadlock reports that the transaction was chosen as the
+	// deadlock victim and must abort.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrAborted reports that the transaction was aborted by another
+	// transaction's commit (an Rc–Wa conflict resolution) or by the
+	// engine while it was waiting.
+	ErrAborted = errors.New("lock: transaction aborted")
+)
+
+type txnState struct {
+	id       TxnID
+	held     map[Resource]Mode
+	aborted  bool
+	abortErr error
+	// waitsOn is the set of transactions currently blocking this one;
+	// rebuilt on every blocked-acquire iteration.
+	waitsOn map[TxnID]bool
+}
+
+type entry struct {
+	holders map[TxnID]Mode
+}
+
+// Manager is the centralized lock manager. All methods are safe for
+// concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	scheme  Scheme
+	policy  DeadlockPolicy
+	entries map[Resource]*entry
+	byClass map[string]map[int64]*entry // tuple-level entries per class
+	txns    map[TxnID]*txnState
+	nextID  TxnID
+
+	stats Stats
+}
+
+// Stats counts lock-manager events since creation.
+type Stats struct {
+	Acquired  int64
+	Waits     int64
+	Deadlocks int64
+	Aborts    int64
+}
+
+// NewManager returns a lock manager using the given scheme and the
+// default deadlock policy (detection with youngest-victim abort).
+func NewManager(s Scheme) *Manager {
+	return NewManagerPolicy(s, DeadlockDetect)
+}
+
+// NewManagerPolicy returns a lock manager with an explicit deadlock
+// policy.
+func NewManagerPolicy(s Scheme, p DeadlockPolicy) *Manager {
+	m := &Manager{
+		scheme:  s,
+		policy:  p,
+		entries: make(map[Resource]*entry),
+		byClass: make(map[string]map[int64]*entry),
+		txns:    make(map[TxnID]*txnState),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Scheme returns the manager's compatibility scheme.
+func (m *Manager) Scheme() Scheme { return m.scheme }
+
+// Policy returns the manager's deadlock policy.
+func (m *Manager) Policy() DeadlockPolicy { return m.policy }
+
+// Begin registers a new transaction and returns its ID.
+func (m *Manager) Begin() TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	id := m.nextID
+	m.txns[id] = &txnState{id: id, held: make(map[Resource]Mode)}
+	return id
+}
+
+// Acquire blocks until the transaction holds the resource in (at
+// least) the requested mode, or returns ErrDeadlock/ErrAborted. Lock
+// upgrades (Rc→Ra, Rc→Wa, Ra→Wa) are supported.
+func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx, ok := m.txns[id]
+	if !ok {
+		return fmt.Errorf("lock: unknown transaction %d", id)
+	}
+	waited := false
+	for {
+		if tx.aborted {
+			tx.waitsOn = nil
+			return tx.abortErr
+		}
+		if cur, held := tx.held[res]; held && cur >= mode {
+			tx.waitsOn = nil
+			return nil
+		}
+		blockers := m.blockersLocked(id, res, mode)
+		if len(blockers) == 0 {
+			m.grantLocked(tx, res, mode)
+			tx.waitsOn = nil
+			if waited {
+				// Wake others: the wait graph changed.
+				m.cond.Broadcast()
+			}
+			return nil
+		}
+		tx.waitsOn = blockers
+		if m.resolveBlockedLocked(id, blockers) {
+			tx.waitsOn = nil
+			return ErrDeadlock
+		}
+		if m.anyAbortedLocked(blockers) {
+			// Prevention may have wounded a blocker, and detection may
+			// have aborted one. The blocker still holds its locks until
+			// its owner rolls back and calls End, so wait for the
+			// release broadcast like any other waiter — but skip the
+			// wait-counter so retried checks are not double-counted.
+			m.cond.Wait()
+			continue
+		}
+		if !waited {
+			m.stats.Waits++
+			waited = true
+		}
+		m.cond.Wait()
+	}
+}
+
+// TryAcquire is a non-blocking Acquire: it reports whether the lock was
+// granted immediately.
+func (m *Manager) TryAcquire(id TxnID, res Resource, mode Mode) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx, ok := m.txns[id]
+	if !ok {
+		return false, fmt.Errorf("lock: unknown transaction %d", id)
+	}
+	if tx.aborted {
+		return false, tx.abortErr
+	}
+	if cur, held := tx.held[res]; held && cur >= mode {
+		return true, nil
+	}
+	if len(m.blockersLocked(id, res, mode)) > 0 {
+		return false, nil
+	}
+	m.grantLocked(tx, res, mode)
+	return true, nil
+}
+
+// grantLocked records the lock; caller holds m.mu.
+func (m *Manager) grantLocked(tx *txnState, res Resource, mode Mode) {
+	e := m.entries[res]
+	if e == nil {
+		e = &entry{holders: make(map[TxnID]Mode)}
+		m.entries[res] = e
+		if res.ID != RelationLevel {
+			cls := m.byClass[res.Class]
+			if cls == nil {
+				cls = make(map[int64]*entry)
+				m.byClass[res.Class] = cls
+			}
+			cls[res.ID] = e
+		}
+	}
+	if cur, ok := e.holders[tx.id]; !ok || mode > cur {
+		e.holders[tx.id] = mode
+	}
+	if cur, ok := tx.held[res]; !ok || mode > cur {
+		tx.held[res] = mode
+	}
+	m.stats.Acquired++
+}
+
+// blockersLocked returns the set of transactions whose held locks are
+// incompatible with the request, considering the tuple/relation
+// hierarchy. Caller holds m.mu.
+func (m *Manager) blockersLocked(id TxnID, res Resource, mode Mode) map[TxnID]bool {
+	blockers := make(map[TxnID]bool)
+	collect := func(e *entry) {
+		if e == nil {
+			return
+		}
+		for hid, held := range e.holders {
+			if hid == id {
+				continue
+			}
+			if !Compatible(m.scheme, held, mode) {
+				blockers[hid] = true
+			}
+		}
+	}
+	collect(m.entries[res])
+	if res.ID == RelationLevel {
+		for _, e := range m.byClass[res.Class] {
+			collect(e)
+		}
+	} else {
+		collect(m.entries[Relation(res.Class)])
+	}
+	if len(blockers) == 0 {
+		return nil
+	}
+	return blockers
+}
+
+// anyAbortedLocked reports whether any of the transactions is marked
+// aborted. Caller holds m.mu.
+func (m *Manager) anyAbortedLocked(ids map[TxnID]bool) bool {
+	for id := range ids {
+		if tx := m.txns[id]; tx != nil && tx.aborted {
+			return true
+		}
+	}
+	return false
+}
+
+// findDeadlockVictimLocked looks for a waits-for cycle through id and
+// returns the youngest transaction in the cycle, or 0 if none. Caller
+// holds m.mu.
+func (m *Manager) findDeadlockVictimLocked(id TxnID) TxnID {
+	// DFS from id following waitsOn edges; a path back to id is a cycle.
+	var path []TxnID
+	onPath := make(map[TxnID]bool)
+	visited := make(map[TxnID]bool)
+	var cycle []TxnID
+	var dfs func(cur TxnID) bool
+	dfs = func(cur TxnID) bool {
+		if onPath[cur] {
+			// Extract the cycle suffix.
+			for i := len(path) - 1; i >= 0; i-- {
+				cycle = append(cycle, path[i])
+				if path[i] == cur {
+					break
+				}
+			}
+			return true
+		}
+		if visited[cur] {
+			return false
+		}
+		visited[cur] = true
+		tx := m.txns[cur]
+		if tx == nil || tx.aborted {
+			return false
+		}
+		onPath[cur] = true
+		path = append(path, cur)
+		for next := range tx.waitsOn {
+			if dfs(next) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[cur] = false
+		return false
+	}
+	if !dfs(id) {
+		return 0
+	}
+	victim := cycle[0]
+	for _, t := range cycle[1:] {
+		if t > victim {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// abortLocked marks a transaction aborted and wakes waiters. The
+// transaction's locks remain held until End is called (the owner must
+// roll back first). Caller holds m.mu.
+func (m *Manager) abortLocked(id TxnID, err error) {
+	tx := m.txns[id]
+	if tx == nil || tx.aborted {
+		return
+	}
+	tx.aborted = true
+	tx.abortErr = err
+	tx.waitsOn = nil
+	m.stats.Aborts++
+	m.cond.Broadcast()
+}
+
+// Abort marks the transaction aborted: a pending or future Acquire by
+// it returns ErrAborted. Its locks stay held until End.
+func (m *Manager) Abort(id TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.abortLocked(id, ErrAborted)
+}
+
+// Aborted reports whether the transaction has been marked aborted.
+func (m *Manager) Aborted(id TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx := m.txns[id]
+	return tx != nil && tx.aborted
+}
+
+// RcVictims returns the transactions holding Rc locks that conflict
+// with the given transaction's Wa locks — the productions that must be
+// forced to abort when this transaction commits first (Section 4.3,
+// rule (ii)). It is only meaningful under SchemeRcRaWa; under 2PL the
+// conflict cannot arise and the result is always empty.
+func (m *Manager) RcVictims(id TxnID) []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx := m.txns[id]
+	if tx == nil {
+		return nil
+	}
+	victims := make(map[TxnID]bool)
+	scan := func(e *entry) {
+		if e == nil {
+			return
+		}
+		for hid, held := range e.holders {
+			if hid != id && held == Rc {
+				victims[hid] = true
+			}
+		}
+	}
+	for res, mode := range tx.held {
+		if mode != Wa {
+			continue
+		}
+		scan(m.entries[res])
+		if res.ID == RelationLevel {
+			for _, e := range m.byClass[res.Class] {
+				scan(e)
+			}
+		} else {
+			scan(m.entries[Relation(res.Class)])
+		}
+	}
+	out := make([]TxnID, 0, len(victims))
+	for v := range victims {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// End releases all of the transaction's locks and forgets it. It is
+// called at commit and after abort rollback.
+func (m *Manager) End(id TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx := m.txns[id]
+	if tx == nil {
+		return
+	}
+	for res := range tx.held {
+		e := m.entries[res]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, id)
+		if len(e.holders) == 0 {
+			delete(m.entries, res)
+			if res.ID != RelationLevel {
+				if cls := m.byClass[res.Class]; cls != nil {
+					delete(cls, res.ID)
+					if len(cls) == 0 {
+						delete(m.byClass, res.Class)
+					}
+				}
+			}
+		}
+	}
+	delete(m.txns, id)
+	m.cond.Broadcast()
+}
+
+// Held returns the modes the transaction currently holds, for tests
+// and diagnostics.
+func (m *Manager) Held(id TxnID) map[Resource]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx := m.txns[id]
+	if tx == nil {
+		return nil
+	}
+	out := make(map[Resource]Mode, len(tx.held))
+	for r, md := range tx.held {
+		out[r] = md
+	}
+	return out
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

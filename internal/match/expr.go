@@ -1,0 +1,161 @@
+package match
+
+import (
+	"fmt"
+
+	"pdps/internal/wm"
+)
+
+// Bindings maps variable names to the values they were bound to while
+// matching a rule's LHS.
+type Bindings map[string]wm.Value
+
+// Clone returns a copy of the bindings.
+func (b Bindings) Clone() Bindings {
+	c := make(Bindings, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Expr is an expression evaluated against LHS bindings in an RHS
+// assignment: a constant, a variable reference, or an arithmetic
+// combination.
+type Expr interface {
+	// Eval computes the expression's value under the bindings.
+	Eval(b Bindings) (wm.Value, error)
+	// Vars returns the variables the expression references.
+	Vars() []string
+	fmt.Stringer
+}
+
+// ConstExpr is a literal value.
+type ConstExpr struct{ Val wm.Value }
+
+// Eval returns the constant.
+func (e ConstExpr) Eval(Bindings) (wm.Value, error) { return e.Val, nil }
+
+// Vars returns nil: constants reference no variables.
+func (e ConstExpr) Vars() []string { return nil }
+
+// String renders the literal.
+func (e ConstExpr) String() string { return e.Val.String() }
+
+// VarExpr references an LHS variable.
+type VarExpr struct{ Name string }
+
+// Eval looks the variable up in the bindings.
+func (e VarExpr) Eval(b Bindings) (wm.Value, error) {
+	v, ok := b[e.Name]
+	if !ok {
+		return wm.Nil(), fmt.Errorf("match: unbound variable <%s>", e.Name)
+	}
+	return v, nil
+}
+
+// Vars returns the referenced variable.
+func (e VarExpr) Vars() []string { return []string{e.Name} }
+
+// String renders the variable reference.
+func (e VarExpr) String() string { return "<" + e.Name + ">" }
+
+// ArithOp is an arithmetic operator in a BinExpr.
+type ArithOp uint8
+
+// Arithmetic operators usable in RHS expressions.
+const (
+	ArithAdd ArithOp = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+	ArithMod
+)
+
+// String returns the operator symbol.
+func (o ArithOp) String() string {
+	switch o {
+	case ArithAdd:
+		return "+"
+	case ArithSub:
+		return "-"
+	case ArithMul:
+		return "*"
+	case ArithDiv:
+		return "/"
+	case ArithMod:
+		return "%"
+	}
+	return "?"
+}
+
+// BinExpr applies an arithmetic operator to two subexpressions. Both
+// operands must evaluate to numbers; the result is an integer when both
+// operands are integers, and a float otherwise.
+type BinExpr struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval computes the arithmetic result.
+func (e BinExpr) Eval(b Bindings) (wm.Value, error) {
+	l, err := e.L.Eval(b)
+	if err != nil {
+		return wm.Nil(), err
+	}
+	r, err := e.R.Eval(b)
+	if err != nil {
+		return wm.Nil(), err
+	}
+	if !l.Numeric() || !r.Numeric() {
+		return wm.Nil(), fmt.Errorf("match: arithmetic on non-numeric values %v %s %v", l, e.Op, r)
+	}
+	if l.Kind() == wm.KindInt && r.Kind() == wm.KindInt {
+		a, c := l.AsInt(), r.AsInt()
+		switch e.Op {
+		case ArithAdd:
+			return wm.Int(a + c), nil
+		case ArithSub:
+			return wm.Int(a - c), nil
+		case ArithMul:
+			return wm.Int(a * c), nil
+		case ArithDiv:
+			if c == 0 {
+				return wm.Nil(), fmt.Errorf("match: integer division by zero")
+			}
+			return wm.Int(a / c), nil
+		case ArithMod:
+			if c == 0 {
+				return wm.Nil(), fmt.Errorf("match: integer modulo by zero")
+			}
+			return wm.Int(a % c), nil
+		}
+	}
+	a, c := l.AsFloat(), r.AsFloat()
+	switch e.Op {
+	case ArithAdd:
+		return wm.Float(a + c), nil
+	case ArithSub:
+		return wm.Float(a - c), nil
+	case ArithMul:
+		return wm.Float(a * c), nil
+	case ArithDiv:
+		if c == 0 {
+			return wm.Nil(), fmt.Errorf("match: division by zero")
+		}
+		return wm.Float(a / c), nil
+	case ArithMod:
+		return wm.Nil(), fmt.Errorf("match: modulo on floats")
+	}
+	return wm.Nil(), fmt.Errorf("match: unknown arithmetic operator %d", e.Op)
+}
+
+// Vars returns the union of the operand variables.
+func (e BinExpr) Vars() []string {
+	return append(e.L.Vars(), e.R.Vars()...)
+}
+
+// String renders the expression in prefix rule-language syntax.
+func (e BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Op, e.L, e.R)
+}

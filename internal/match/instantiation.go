@@ -1,0 +1,148 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdps/internal/wm"
+)
+
+// Instantiation is one element of the conflict set: a rule together
+// with the WMEs (one per positive condition element, in order) and the
+// variable bindings that satisfy its LHS.
+type Instantiation struct {
+	Rule     *Rule
+	WMEs     []*wm.WME
+	Bindings Bindings
+}
+
+// Key returns a string uniquely identifying the instantiation: the
+// rule name plus the identities and versions of the matched WMEs. Two
+// instantiations with equal keys matched the same data.
+func (in *Instantiation) Key() string {
+	var b strings.Builder
+	b.WriteString(in.Rule.Name)
+	for _, w := range in.WMEs {
+		fmt.Fprintf(&b, "|%d@%d", w.ID, w.TimeTag)
+	}
+	return b.String()
+}
+
+// TimeTags returns the matched WMEs' time tags sorted in descending
+// order, the comparison key used by the LEX strategy.
+func (in *Instantiation) TimeTags() []uint64 {
+	tags := make([]uint64, len(in.WMEs))
+	for i, w := range in.WMEs {
+		tags[i] = w.TimeTag
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i] > tags[j] })
+	return tags
+}
+
+// Uses reports whether the instantiation matched the given WME version.
+func (in *Instantiation) Uses(w *wm.WME) bool {
+	for _, m := range in.WMEs {
+		if m.ID == w.ID && m.TimeTag == w.TimeTag {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the instantiation as "rule [wme1, wme2, ...]".
+func (in *Instantiation) String() string {
+	parts := make([]string, len(in.WMEs))
+	for i, w := range in.WMEs {
+		parts[i] = w.String()
+	}
+	return fmt.Sprintf("%s [%s]", in.Rule.Name, strings.Join(parts, ", "))
+}
+
+// ConflictSet is the set of active instantiations (the paper's P^A).
+// It is not safe for concurrent use; engines serialise access to it.
+type ConflictSet struct {
+	byKey map[string]*Instantiation
+}
+
+// NewConflictSet returns an empty conflict set.
+func NewConflictSet() *ConflictSet {
+	return &ConflictSet{byKey: make(map[string]*Instantiation)}
+}
+
+// Add inserts an instantiation; it reports whether it was new.
+func (cs *ConflictSet) Add(in *Instantiation) bool {
+	k := in.Key()
+	if _, ok := cs.byKey[k]; ok {
+		return false
+	}
+	cs.byKey[k] = in
+	return true
+}
+
+// Remove deletes the instantiation with the given key; it reports
+// whether it was present.
+func (cs *ConflictSet) Remove(key string) bool {
+	if _, ok := cs.byKey[key]; !ok {
+		return false
+	}
+	delete(cs.byKey, key)
+	return true
+}
+
+// RemoveUsing deletes every instantiation that matched the given WME
+// version and returns the removed instantiations.
+func (cs *ConflictSet) RemoveUsing(w *wm.WME) []*Instantiation {
+	var removed []*Instantiation
+	for k, in := range cs.byKey {
+		if in.Uses(w) {
+			removed = append(removed, in)
+			delete(cs.byKey, k)
+		}
+	}
+	return removed
+}
+
+// Len reports the number of instantiations.
+func (cs *ConflictSet) Len() int { return len(cs.byKey) }
+
+// Contains reports whether an instantiation with the key is present.
+func (cs *ConflictSet) Contains(key string) bool {
+	_, ok := cs.byKey[key]
+	return ok
+}
+
+// Get returns the instantiation with the given key.
+func (cs *ConflictSet) Get(key string) (*Instantiation, bool) {
+	in, ok := cs.byKey[key]
+	return in, ok
+}
+
+// All returns the instantiations ordered deterministically by key.
+func (cs *ConflictSet) All() []*Instantiation {
+	keys := make([]string, 0, len(cs.byKey))
+	for k := range cs.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Instantiation, len(keys))
+	for i, k := range keys {
+		out[i] = cs.byKey[k]
+	}
+	return out
+}
+
+// RuleNames returns the distinct names of rules with at least one
+// instantiation, sorted.
+func (cs *ConflictSet) RuleNames() []string {
+	seen := make(map[string]bool)
+	for _, in := range cs.byKey {
+		seen[in.Rule.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,106 @@
+package match
+
+import (
+	"fmt"
+	"sync"
+
+	"pdps/internal/wm"
+)
+
+// ShardedMatcher implements the paper's intra-phase match parallelism
+// (Section 2, "execution of each phase in a parallel manner"): rules
+// are partitioned round-robin across inner matchers, and working-memory
+// updates and conflict-set computation fan out to the shards on
+// goroutines. Because each rule lives in exactly one shard, the merged
+// conflict set equals the one a single matcher would produce.
+type ShardedMatcher struct {
+	shards []Matcher
+	names  map[string]bool
+	next   int
+}
+
+// NewSharded builds a sharded matcher over n inner matchers produced
+// by the factory (n < 1 is treated as 1).
+func NewSharded(n int, factory func() Matcher) *ShardedMatcher {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedMatcher{shards: make([]Matcher, n), names: make(map[string]bool)}
+	for i := range s.shards {
+		s.shards[i] = factory()
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedMatcher) Shards() int { return len(s.shards) }
+
+// AddRule assigns the rule to the next shard round-robin. Duplicate
+// names are rejected across all shards.
+func (s *ShardedMatcher) AddRule(r *Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if s.names[r.Name] {
+		return fmt.Errorf("match: duplicate rule %s", r.Name)
+	}
+	if err := s.shards[s.next%len(s.shards)].AddRule(r); err != nil {
+		return err
+	}
+	s.names[r.Name] = true
+	s.next++
+	return nil
+}
+
+// Insert fans the WME out to every shard concurrently.
+func (s *ShardedMatcher) Insert(w *wm.WME) {
+	s.broadcast(func(m Matcher) { m.Insert(w) })
+}
+
+// Remove fans the retraction out to every shard concurrently.
+func (s *ShardedMatcher) Remove(w *wm.WME) {
+	s.broadcast(func(m Matcher) { m.Remove(w) })
+}
+
+func (s *ShardedMatcher) broadcast(f func(Matcher)) {
+	if len(s.shards) == 1 {
+		f(s.shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for _, m := range s.shards {
+		wg.Add(1)
+		go func(m Matcher) {
+			defer wg.Done()
+			f(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// ConflictSet computes every shard's conflict set concurrently and
+// merges them.
+func (s *ShardedMatcher) ConflictSet() *ConflictSet {
+	if len(s.shards) == 1 {
+		return s.shards[0].ConflictSet()
+	}
+	sets := make([]*ConflictSet, len(s.shards))
+	var wg sync.WaitGroup
+	for i, m := range s.shards {
+		wg.Add(1)
+		go func(i int, m Matcher) {
+			defer wg.Done()
+			sets[i] = m.ConflictSet()
+		}(i, m)
+	}
+	wg.Wait()
+	merged := NewConflictSet()
+	for _, cs := range sets {
+		for _, in := range cs.All() {
+			merged.Add(in)
+		}
+	}
+	return merged
+}
+
+var _ Matcher = (*ShardedMatcher)(nil)

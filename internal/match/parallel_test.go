@@ -1,0 +1,106 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdps/internal/wm"
+)
+
+func shardRule(i int) *Rule {
+	return &Rule{
+		Name: fmt.Sprintf("r%d", i),
+		Conditions: []Condition{
+			{Class: fmt.Sprintf("c%d", i%3), Tests: []AttrTest{
+				{Attr: "v", Op: OpEq, Var: "x"},
+			}},
+			{Class: "shared", Tests: []AttrTest{
+				{Attr: "v", Op: OpEq, Var: "x"},
+			}},
+		},
+		Actions: []Action{{Kind: ActHalt}},
+	}
+}
+
+// TestShardedMatchesUnsharded drives a sharded naive matcher and a
+// plain one with the same rules and WME churn; conflict sets must be
+// identical at every step.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	sharded := NewSharded(4, func() Matcher { return NewNaive() })
+	plain := NewNaive()
+	if sharded.Shards() != 4 {
+		t.Fatal("shard count")
+	}
+	for i := 0; i < 7; i++ {
+		if err := sharded.AddRule(shardRule(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.AddRule(shardRule(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := wm.NewStore()
+	rng := rand.New(rand.NewSource(11))
+	var live []*wm.WME
+	for step := 0; step < 80; step++ {
+		if len(live) == 0 || rng.Intn(3) > 0 {
+			cls := fmt.Sprintf("c%d", rng.Intn(3))
+			if rng.Intn(3) == 0 {
+				cls = "shared"
+			}
+			w := s.Insert(cls, map[string]wm.Value{"v": wm.Int(int64(rng.Intn(4)))})
+			live = append(live, w)
+			sharded.Insert(w)
+			plain.Insert(w)
+		} else {
+			i := rng.Intn(len(live))
+			w := live[i]
+			live = append(live[:i], live[i+1:]...)
+			sharded.Remove(w)
+			plain.Remove(w)
+		}
+		a, b := sharded.ConflictSet(), plain.ConflictSet()
+		if a.Len() != b.Len() {
+			t.Fatalf("step %d: sharded=%d plain=%d", step, a.Len(), b.Len())
+		}
+		for _, in := range a.All() {
+			if !b.Contains(in.Key()) {
+				t.Fatalf("step %d: sharded-only instantiation %v", step, in)
+			}
+		}
+	}
+}
+
+func TestShardedDuplicateRuleRejected(t *testing.T) {
+	sh := NewSharded(3, func() Matcher { return NewNaive() })
+	if err := sh.AddRule(shardRule(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Same name lands on a different shard, which would accept it —
+	// the sharded wrapper itself must reject.
+	if err := sh.AddRule(shardRule(0)); err == nil {
+		t.Fatal("cross-shard duplicate accepted")
+	}
+	if err := sh.AddRule(&Rule{Name: "bad"}); err == nil {
+		t.Fatal("invalid rule accepted")
+	}
+}
+
+func TestShardedSingleShardPassthrough(t *testing.T) {
+	sh := NewSharded(0, func() Matcher { return NewNaive() }) // clamped to 1
+	if sh.Shards() != 1 {
+		t.Fatal("clamp failed")
+	}
+	if err := sh.AddRule(shardRule(0)); err != nil {
+		t.Fatal(err)
+	}
+	s := wm.NewStore()
+	w := s.Insert("c0", map[string]wm.Value{"v": wm.Int(1)})
+	w2 := s.Insert("shared", map[string]wm.Value{"v": wm.Int(1)})
+	sh.Insert(w)
+	sh.Insert(w2)
+	if sh.ConflictSet().Len() != 1 {
+		t.Fatal("single-shard path broken")
+	}
+}

@@ -1,0 +1,211 @@
+package match
+
+import (
+	"strings"
+	"testing"
+
+	"pdps/internal/wm"
+)
+
+// ruleAB is a two-CE join rule used across the match tests:
+//
+//	(p pass
+//	  (part ^id <x> ^status ready)
+//	  (machine ^accepts <x> ^free true)
+//	  -->
+//	  (modify 1 ^status done))
+func ruleAB() *Rule {
+	return &Rule{
+		Name: "pass",
+		Conditions: []Condition{
+			{Class: "part", Tests: []AttrTest{
+				{Attr: "id", Op: OpEq, Var: "x"},
+				{Attr: "status", Op: OpEq, Const: wm.Sym("ready")},
+			}},
+			{Class: "machine", Tests: []AttrTest{
+				{Attr: "accepts", Op: OpEq, Var: "x"},
+				{Attr: "free", Op: OpEq, Const: wm.Bool(true)},
+			}},
+		},
+		Actions: []Action{
+			{Kind: ActModify, CE: 0, Assigns: []AttrAssign{
+				{Attr: "status", Expr: ConstExpr{wm.Sym("done")}},
+			}},
+		},
+	}
+}
+
+func TestOpEval(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b wm.Value
+		want bool
+	}{
+		{OpEq, wm.Int(1), wm.Int(1), true},
+		{OpNe, wm.Int(1), wm.Int(2), true},
+		{OpLt, wm.Int(1), wm.Int(2), true},
+		{OpLe, wm.Int(2), wm.Int(2), true},
+		{OpGt, wm.Float(2.5), wm.Int(2), true},
+		{OpGe, wm.Int(2), wm.Int(3), false},
+		{OpLt, wm.Sym("a"), wm.Sym("b"), true},
+		{OpLt, wm.Sym("a"), wm.Int(1), false}, // incomparable kinds
+		{OpEq, wm.Sym("a"), wm.Str("a"), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRuleValidateOK(t *testing.T) {
+	if err := ruleAB().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		r    *Rule
+		want string
+	}{
+		{"empty name", &Rule{}, "empty name"},
+		{"no CEs", &Rule{Name: "r"}, "no condition"},
+		{
+			"all negated",
+			&Rule{Name: "r", Conditions: []Condition{{Class: "a", Negated: true}}},
+			"no positive",
+		},
+		{
+			"unbound var",
+			&Rule{Name: "r", Conditions: []Condition{
+				{Class: "a", Tests: []AttrTest{{Attr: "v", Op: OpLt, Var: "x"}}},
+			}},
+			"unbound variable <x>",
+		},
+		{
+			"no actions",
+			&Rule{Name: "r", Conditions: []Condition{{Class: "a"}}},
+			"no actions",
+		},
+		{
+			"make without class",
+			&Rule{Name: "r", Conditions: []Condition{{Class: "a"}},
+				Actions: []Action{{Kind: ActMake}}},
+			"make without class",
+		},
+		{
+			"CE out of range",
+			&Rule{Name: "r", Conditions: []Condition{{Class: "a"}},
+				Actions: []Action{{Kind: ActRemove, CE: 1}}},
+			"out of range",
+		},
+		{
+			"remove with assigns",
+			&Rule{Name: "r", Conditions: []Condition{{Class: "a"}},
+				Actions: []Action{{Kind: ActRemove, CE: 0,
+					Assigns: []AttrAssign{{Attr: "v", Expr: ConstExpr{wm.Int(1)}}}}}},
+			"remove takes no assignments",
+		},
+		{
+			"action unbound var",
+			&Rule{Name: "r", Conditions: []Condition{{Class: "a"}},
+				Actions: []Action{{Kind: ActMake, Class: "b",
+					Assigns: []AttrAssign{{Attr: "v", Expr: VarExpr{"z"}}}}}},
+			"unbound variable <z>",
+		},
+	}
+	for _, c := range cases {
+		err := c.r.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRuleValidateNegatedCEMayUseBoundVar(t *testing.T) {
+	r := &Rule{
+		Name: "r",
+		Conditions: []Condition{
+			{Class: "a", Tests: []AttrTest{{Attr: "v", Op: OpEq, Var: "x"}}},
+			{Class: "b", Negated: true, Tests: []AttrTest{{Attr: "v", Op: OpEq, Var: "x"}}},
+		},
+		Actions: []Action{{Kind: ActRemove, CE: 0}},
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// But a negated CE cannot introduce a new variable.
+	r.Conditions[1].Tests[0].Var = "y"
+	if err := r.Validate(); err == nil {
+		t.Fatal("negated CE binding a fresh variable must be rejected")
+	}
+}
+
+func TestRuleStringRoundTrips(t *testing.T) {
+	s := ruleAB().String()
+	for _, frag := range []string{"(p pass", "^id <x>", "^status ready", "-->", "(modify 1 ^status done)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	b := Bindings{"x": wm.Int(10), "f": wm.Float(1.5)}
+	cases := []struct {
+		e    Expr
+		want wm.Value
+	}{
+		{ConstExpr{wm.Int(3)}, wm.Int(3)},
+		{VarExpr{"x"}, wm.Int(10)},
+		{BinExpr{ArithAdd, VarExpr{"x"}, ConstExpr{wm.Int(1)}}, wm.Int(11)},
+		{BinExpr{ArithSub, VarExpr{"x"}, ConstExpr{wm.Int(4)}}, wm.Int(6)},
+		{BinExpr{ArithMul, VarExpr{"x"}, ConstExpr{wm.Int(2)}}, wm.Int(20)},
+		{BinExpr{ArithDiv, VarExpr{"x"}, ConstExpr{wm.Int(3)}}, wm.Int(3)},
+		{BinExpr{ArithMod, VarExpr{"x"}, ConstExpr{wm.Int(3)}}, wm.Int(1)},
+		{BinExpr{ArithAdd, VarExpr{"f"}, ConstExpr{wm.Int(1)}}, wm.Float(2.5)},
+		{BinExpr{ArithDiv, VarExpr{"f"}, ConstExpr{wm.Float(0.5)}}, wm.Float(3)},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(b)
+		if err != nil {
+			t.Errorf("%v: %v", c.e, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%v = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	b := Bindings{"s": wm.Sym("a")}
+	bad := []Expr{
+		VarExpr{"missing"},
+		BinExpr{ArithAdd, VarExpr{"s"}, ConstExpr{wm.Int(1)}},
+		BinExpr{ArithDiv, ConstExpr{wm.Int(1)}, ConstExpr{wm.Int(0)}},
+		BinExpr{ArithMod, ConstExpr{wm.Int(1)}, ConstExpr{wm.Int(0)}},
+		BinExpr{ArithDiv, ConstExpr{wm.Float(1)}, ConstExpr{wm.Float(0)}},
+		BinExpr{ArithMod, ConstExpr{wm.Float(1)}, ConstExpr{wm.Float(2)}},
+		BinExpr{ArithAdd, VarExpr{"missing"}, ConstExpr{wm.Int(1)}},
+		BinExpr{ArithAdd, ConstExpr{wm.Int(1)}, VarExpr{"missing"}},
+	}
+	for _, e := range bad {
+		if _, err := e.Eval(b); err == nil {
+			t.Errorf("%v: want error", e)
+		}
+	}
+}
+
+func TestExprVarsAndString(t *testing.T) {
+	e := BinExpr{ArithAdd, VarExpr{"x"}, BinExpr{ArithMul, VarExpr{"y"}, ConstExpr{wm.Int(2)}}}
+	vars := e.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if got := e.String(); got != "(+ <x> (* <y> 2))" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,114 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassAttr names a column of working memory: a class (relation) and an
+// attribute. An empty Attr denotes the whole relation — used for
+// existence reads (negated CEs), tuple creation (make) and tuple
+// deletion (remove), which conflict with every attribute of the class.
+type ClassAttr struct {
+	Class string
+	Attr  string
+}
+
+// String renders the column as class.attr or class.* for whole-relation.
+func (c ClassAttr) String() string {
+	if c.Attr == "" {
+		return c.Class + ".*"
+	}
+	return c.Class + "." + c.Attr
+}
+
+// Overlaps reports whether two columns can denote the same data: same
+// class, and equal attributes or either side whole-relation.
+func (c ClassAttr) Overlaps(o ClassAttr) bool {
+	if c.Class != o.Class {
+		return false
+	}
+	return c.Attr == "" || o.Attr == "" || c.Attr == o.Attr
+}
+
+// RWSet is the static read and write set of a rule over working-memory
+// columns, the input to the static interference analysis (Section 4.1).
+type RWSet struct {
+	Reads  map[ClassAttr]bool
+	Writes map[ClassAttr]bool
+}
+
+// RuleRWSet computes the rule's static read/write sets.
+//
+//   - Every tested attribute of every CE is a read; a negated CE also
+//     reads the whole relation (its truth depends on tuple existence).
+//   - make writes the whole relation (it creates a tuple, which can
+//     falsify negated CEs and satisfy positive ones on any attribute of
+//     the class it cannot name statically) — conservatively class-level.
+//   - modify writes the assigned attributes of the target CE's class
+//     and reads every attribute its expressions use (via the LHS).
+//   - remove writes the whole relation of the target CE's class.
+func RuleRWSet(r *Rule) RWSet {
+	s := RWSet{Reads: make(map[ClassAttr]bool), Writes: make(map[ClassAttr]bool)}
+	pos := r.PositiveConditions()
+	for _, c := range r.Conditions {
+		for _, t := range c.Tests {
+			s.Reads[ClassAttr{c.Class, t.Attr}] = true
+		}
+		if c.Negated {
+			s.Reads[ClassAttr{c.Class, ""}] = true
+		}
+	}
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActMake:
+			s.Writes[ClassAttr{a.Class, ""}] = true
+		case ActModify:
+			class := r.Conditions[pos[a.CE]].Class
+			for _, as := range a.Assigns {
+				s.Writes[ClassAttr{class, as.Attr}] = true
+			}
+		case ActRemove:
+			class := r.Conditions[pos[a.CE]].Class
+			s.Writes[ClassAttr{class, ""}] = true
+		}
+	}
+	return s
+}
+
+// Interferes reports whether two rules interfere: one's writes overlap
+// the other's reads or writes (read-write or write-write conflict over
+// some column). Per the paper, non-interfering productions can fire in
+// parallel under the static approach.
+func Interferes(a, b *Rule) bool {
+	sa, sb := RuleRWSet(a), RuleRWSet(b)
+	return writesOverlap(sa.Writes, sb.Reads) ||
+		writesOverlap(sa.Writes, sb.Writes) ||
+		writesOverlap(sb.Writes, sa.Reads)
+}
+
+func writesOverlap(w, other map[ClassAttr]bool) bool {
+	for cw := range w {
+		for co := range other {
+			if cw.Overlaps(co) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the set for debugging, columns sorted.
+func (s RWSet) String() string {
+	return fmt.Sprintf("reads{%s} writes{%s}", joinCols(s.Reads), joinCols(s.Writes))
+}
+
+func joinCols(m map[ClassAttr]bool) string {
+	cols := make([]string, 0, len(m))
+	for c := range m {
+		cols = append(cols, c.String())
+	}
+	sort.Strings(cols)
+	return strings.Join(cols, ", ")
+}

@@ -1,0 +1,106 @@
+package rete
+
+import (
+	"fmt"
+	"testing"
+
+	"pdps/internal/match"
+	"pdps/internal/treat"
+	"pdps/internal/wm"
+)
+
+// benchRules builds nRules three-way join rules over shared classes,
+// so alpha memories are shared and beta activity is non-trivial.
+func benchRules(nRules int) []*match.Rule {
+	rules := make([]*match.Rule, nRules)
+	for i := range rules {
+		rules[i] = &match.Rule{
+			Name: fmt.Sprintf("r%d", i),
+			Conditions: []match.Condition{
+				{Class: "a", Tests: []match.AttrTest{
+					{Attr: "k", Op: match.OpEq, Var: "x"},
+					{Attr: "g", Op: match.OpEq, Const: wm.Int(int64(i % 4))},
+				}},
+				{Class: "b", Tests: []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}},
+				{Class: "c", Negated: true, Tests: []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}},
+			},
+			Actions: []match.Action{{Kind: match.ActRemove, CE: 0}},
+		}
+	}
+	return rules
+}
+
+func benchChurn(b *testing.B, m match.Matcher) {
+	b.Helper()
+	for _, r := range benchRules(8) {
+		if err := m.AddRule(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := wm.NewStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := s.Insert("a", map[string]wm.Value{"k": wm.Int(int64(i % 16)), "g": wm.Int(int64(i % 4))})
+		bb := s.Insert("b", map[string]wm.Value{"k": wm.Int(int64(i % 16))})
+		m.Insert(a)
+		m.Insert(bb)
+		if i%3 == 0 {
+			c := s.Insert("c", map[string]wm.Value{"k": wm.Int(int64(i % 16))})
+			m.Insert(c)
+			m.Remove(c)
+		}
+		m.Remove(a)
+		m.Remove(bb)
+	}
+}
+
+// BenchmarkChurn measures insert/remove throughput through the full
+// network for each matcher (conflict-set computation included for the
+// naive matcher, which recomputes on demand).
+func BenchmarkChurn(b *testing.B) {
+	b.Run("rete", func(b *testing.B) { benchChurn(b, New()) })
+	b.Run("treat", func(b *testing.B) { benchChurn(b, treat.New()) })
+	b.Run("naive", func(b *testing.B) {
+		m := match.NewNaive()
+		for _, r := range benchRules(8) {
+			if err := m.AddRule(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s := wm.NewStore()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := s.Insert("a", map[string]wm.Value{"k": wm.Int(int64(i % 16)), "g": wm.Int(int64(i % 4))})
+			m.Insert(a)
+			m.ConflictSet() // naive pays at read time
+			m.Remove(a)
+		}
+	})
+}
+
+// BenchmarkAddRuleSeeding measures late rule addition against a
+// populated working memory (the update-from-above path).
+func BenchmarkAddRuleSeeding(b *testing.B) {
+	s := wm.NewStore()
+	var wmes []*wm.WME
+	for i := 0; i < 500; i++ {
+		wmes = append(wmes,
+			s.Insert("a", map[string]wm.Value{"k": wm.Int(int64(i % 50)), "g": wm.Int(int64(i % 4))}),
+			s.Insert("b", map[string]wm.Value{"k": wm.Int(int64(i % 50))}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := New()
+		for _, w := range wmes {
+			n.Insert(w)
+		}
+		for _, r := range benchRules(4) {
+			if err := n.AddRule(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n.ConflictSet().Len() == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// bindingPos records where a variable was first bound: the chain level
+// (condition index) and attribute.
+type bindingPos struct {
+	level int
+	attr  string
+}
+
+// intraTest compares two attributes of the same WME (a variable used
+// twice within one condition element). It is evaluated in the alpha
+// network because it needs no other WME.
+type intraTest struct {
+	op    match.Op
+	attrA string // the attribute carrying the later occurrence
+	attrB string // the attribute the variable was bound from
+}
+
+// AddRule validates and compiles a rule into the network. Rules may be
+// added after WMEs; the new nodes are seeded with existing matches.
+func (n *Network) AddRule(r *match.Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, dup := n.rules[r.Name]; dup {
+		return errorf("duplicate rule %s", r.Name)
+	}
+
+	prod := &prodNode{
+		net:       n,
+		rule:      r,
+		numLevels: len(r.Conditions),
+		positive:  make([]bool, len(r.Conditions)),
+		bindings:  make(map[string]bindingPos),
+	}
+	for i, c := range r.Conditions {
+		prod.positive[i] = !c.Negated
+	}
+
+	// bound is shared with the production node so that seeding during
+	// compilation (rules added after WMEs) sees the final positions.
+	bound := prod.bindings
+	var source betaSource = n.top
+	last := len(r.Conditions) - 1
+
+	for i, c := range r.Conditions {
+		var consts []match.AttrTest
+		var intras []intraTest
+		var joins []joinTest
+		var presence []string
+		for _, t := range c.Tests {
+			switch {
+			case !t.IsVar():
+				consts = append(consts, t)
+			default:
+				pos, isBound := bound[t.Var]
+				switch {
+				case isBound && pos.level == i:
+					intras = append(intras, intraTest{op: t.Op, attrA: t.Attr, attrB: pos.attr})
+				case isBound:
+					joins = append(joins, joinTest{
+						op:        t.Op,
+						ownAttr:   t.Attr,
+						levelsUp:  (i - 1) - pos.level,
+						otherAttr: pos.attr,
+					})
+				default:
+					// Validate() guarantees: OpEq, positive CE. Binding
+					// requires the attribute to be present on the WME.
+					bound[t.Var] = bindingPos{level: i, attr: t.Attr}
+					presence = append(presence, t.Attr)
+				}
+			}
+		}
+		amem := n.alphaMemFor(c.Class, consts, intras, presence)
+
+		if c.Negated {
+			neg := &negNode{net: n, amem: amem, tests: joins}
+			source.addChildSink(neg)
+			amem.successors = append(amem.successors, neg)
+			for _, t := range source.validTokens() {
+				neg.onToken(t)
+			}
+			source = neg
+			if i == last {
+				prod.viaToken = true
+				neg.addChildSink(prod)
+				for _, t := range neg.validTokens() {
+					prod.onToken(t)
+				}
+			}
+			continue
+		}
+
+		var out pairSink
+		var nextMem *memNode
+		if i == last {
+			out = prod
+		} else {
+			nextMem = &memNode{net: n}
+			out = nextMem
+		}
+		join := &joinNode{parent: source, amem: amem, tests: joins, out: out}
+		source.addChildSink(join)
+		amem.successors = append(amem.successors, join)
+		for _, t := range source.validTokens() {
+			join.onToken(t)
+		}
+		if nextMem != nil {
+			source = nextMem
+		}
+	}
+
+	n.rules[r.Name] = r
+	return nil
+}
+
+// alphaMemFor returns the shared alpha memory for the pattern,
+// creating and back-filling it from current working memory if new.
+func (n *Network) alphaMemFor(class string, consts []match.AttrTest, intras []intraTest, presence []string) *alphaMem {
+	key := alphaKey(class, consts, intras, presence)
+	if am, ok := n.alphaByKey[key]; ok {
+		return am
+	}
+	cs := append([]match.AttrTest(nil), consts...)
+	is := append([]intraTest(nil), intras...)
+	ps := append([]string(nil), presence...)
+	am := &alphaMem{
+		key:   key,
+		class: class,
+		items: make(map[*wm.WME]bool),
+		pred: func(w *wm.WME) bool {
+			for _, t := range cs {
+				if !w.HasAttr(t.Attr) || !t.Matches(w.Attr(t.Attr)) {
+					return false
+				}
+			}
+			for _, it := range is {
+				if !w.HasAttr(it.attrA) || !w.HasAttr(it.attrB) {
+					return false
+				}
+				if !it.op.Eval(w.Attr(it.attrA), w.Attr(it.attrB)) {
+					return false
+				}
+			}
+			for _, a := range ps {
+				if !w.HasAttr(a) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	n.alphaByKey[key] = am
+	n.alphaByClass[class] = append(n.alphaByClass[class], am)
+	for w := range n.wmes {
+		if w.Class == class && am.pred(w) {
+			am.items[w] = true
+		}
+	}
+	return am
+}
+
+func alphaKey(class string, consts []match.AttrTest, intras []intraTest, presence []string) string {
+	parts := make([]string, 0, len(consts)+len(intras)+len(presence))
+	for _, t := range consts {
+		if t.IsDisjunction() {
+			alts := make([]string, len(t.OneOf))
+			for i, v := range t.OneOf {
+				alts[i] = fmt.Sprintf("%s:%d", v, v.Kind())
+			}
+			parts = append(parts, fmt.Sprintf("d:%s in [%s]", t.Attr, strings.Join(alts, " ")))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("c:%s %s %s:%d", t.Attr, t.Op, t.Const, t.Const.Kind()))
+	}
+	for _, it := range intras {
+		parts = append(parts, fmt.Sprintf("i:%s %s %s", it.attrA, it.op, it.attrB))
+	}
+	for _, a := range presence {
+		parts = append(parts, "p:"+a)
+	}
+	sort.Strings(parts)
+	return class + "|" + strings.Join(parts, "|")
+}

@@ -1,0 +1,177 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Topology describes the compiled network shape, for diagnostics and
+// the sharing statistics the Rete literature reports.
+type Topology struct {
+	AlphaMems  int
+	JoinNodes  int
+	NegNodes   int
+	MemNodes   int
+	ProdNodes  int
+	SharedAlph int // alpha memories feeding more than one successor
+}
+
+// Topology walks the network and counts its nodes.
+func (n *Network) Topology() Topology {
+	t := Topology{AlphaMems: len(n.alphaByKey)}
+	seenMem := map[*memNode]bool{n.top: true}
+	t.MemNodes = 1
+	seenJoin := map[*joinNode]bool{}
+	seenNeg := map[*negNode]bool{}
+	seenProd := map[*prodNode]bool{}
+
+	var visitSink func(s tokenSink)
+	visitSink = func(s tokenSink) {
+		switch node := s.(type) {
+		case *joinNode:
+			if seenJoin[node] {
+				return
+			}
+			seenJoin[node] = true
+			t.JoinNodes++
+			switch out := node.out.(type) {
+			case *memNode:
+				if !seenMem[out] {
+					seenMem[out] = true
+					t.MemNodes++
+					for _, c := range out.children {
+						visitSink(c)
+					}
+				}
+			case *prodNode:
+				if !seenProd[out] {
+					seenProd[out] = true
+					t.ProdNodes++
+				}
+			}
+		case *negNode:
+			if seenNeg[node] {
+				return
+			}
+			seenNeg[node] = true
+			t.NegNodes++
+			for _, c := range node.children {
+				visitSink(c)
+			}
+		case *prodNode:
+			if !seenProd[node] {
+				seenProd[node] = true
+				t.ProdNodes++
+			}
+		}
+	}
+	for _, c := range n.top.children {
+		visitSink(c)
+	}
+	for _, am := range n.alphaByKey {
+		if len(am.successors) > 1 {
+			t.SharedAlph++
+		}
+	}
+	return t
+}
+
+// Dot renders the network topology in Graphviz dot syntax: alpha
+// memories as boxes, joins as diamonds, negative nodes as inverted
+// houses, productions as double circles.
+func (n *Network) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph rete {\n  rankdir=TB;\n  node [fontsize=10];\n")
+
+	alphaID := make(map[*alphaMem]string)
+	keys := make([]string, 0, len(n.alphaByKey))
+	for k := range n.alphaByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		am := n.alphaByKey[k]
+		id := fmt.Sprintf("alpha%d", i)
+		alphaID[am] = id
+		fmt.Fprintf(&b, "  %s [shape=box,label=%q];\n", id, "α "+am.key)
+	}
+	b.WriteString("  top [shape=point,label=\"\"];\n")
+
+	ids := map[interface{}]string{}
+	next := 0
+	idOf := func(x interface{}, prefix string) (string, bool) {
+		if id, ok := ids[x]; ok {
+			return id, false
+		}
+		next++
+		id := fmt.Sprintf("%s%d", prefix, next)
+		ids[x] = id
+		return id, true
+	}
+
+	var edges []string
+	edge := func(from, to, label string) {
+		if label == "" {
+			edges = append(edges, fmt.Sprintf("  %s -> %s;", from, to))
+			return
+		}
+		edges = append(edges, fmt.Sprintf("  %s -> %s [label=%q];", from, to, label))
+	}
+
+	var visitSink func(parent string, s tokenSink)
+	visitSink = func(parent string, s tokenSink) {
+		switch node := s.(type) {
+		case *joinNode:
+			id, fresh := idOf(node, "join")
+			edge(parent, id, "")
+			if fresh {
+				fmt.Fprintf(&b, "  %s [shape=diamond,label=\"⋈ %d tests\"];\n", id, len(node.tests))
+				edge(alphaID[node.amem], id, "")
+				switch out := node.out.(type) {
+				case *memNode:
+					mid, mfresh := idOf(out, "mem")
+					if mfresh {
+						fmt.Fprintf(&b, "  %s [shape=ellipse,label=\"β\"];\n", mid)
+					}
+					edge(id, mid, "")
+					if mfresh {
+						for _, c := range out.children {
+							visitSink(mid, c)
+						}
+					}
+				case *prodNode:
+					pid, pfresh := idOf(out, "prod")
+					if pfresh {
+						fmt.Fprintf(&b, "  %s [shape=doublecircle,label=%q];\n", pid, out.rule.Name)
+					}
+					edge(id, pid, "")
+				}
+			}
+		case *negNode:
+			id, fresh := idOf(node, "neg")
+			edge(parent, id, "")
+			if fresh {
+				fmt.Fprintf(&b, "  %s [shape=invhouse,label=\"¬ %d tests\"];\n", id, len(node.tests))
+				edge(alphaID[node.amem], id, "")
+				for _, c := range node.children {
+					visitSink(id, c)
+				}
+			}
+		case *prodNode:
+			pid, pfresh := idOf(node, "prod")
+			if pfresh {
+				fmt.Fprintf(&b, "  %s [shape=doublecircle,label=%q];\n", pid, node.rule.Name)
+			}
+			edge(parent, pid, "")
+		}
+	}
+	for _, c := range n.top.children {
+		visitSink("top", c)
+	}
+	for _, e := range edges {
+		b.WriteString(e + "\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package rete
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// randomRule builds a random rule over classes c0..c3 with attributes
+// a0..a2, joining consecutive CEs on a shared variable half the time
+// and negating a non-first CE occasionally.
+func randomRule(rng *rand.Rand, name string) *match.Rule {
+	numCE := 1 + rng.Intn(3)
+	var conds []match.Condition
+	bound := false
+	for i := 0; i < numCE; i++ {
+		c := match.Condition{Class: fmt.Sprintf("c%d", rng.Intn(4))}
+		// Constant test.
+		if rng.Intn(2) == 0 {
+			ops := []match.Op{match.OpEq, match.OpNe, match.OpLt, match.OpGt, match.OpLe, match.OpGe}
+			c.Tests = append(c.Tests, match.AttrTest{
+				Attr:  fmt.Sprintf("a%d", rng.Intn(3)),
+				Op:    ops[rng.Intn(len(ops))],
+				Const: wm.Int(int64(rng.Intn(4))),
+			})
+		}
+		// Variable binding / join test.
+		if i == 0 || !bound {
+			if rng.Intn(2) == 0 {
+				c.Tests = append(c.Tests, match.AttrTest{
+					Attr: fmt.Sprintf("a%d", rng.Intn(3)), Op: match.OpEq, Var: "x"})
+				bound = true
+			}
+		} else {
+			ops := []match.Op{match.OpEq, match.OpNe, match.OpLt, match.OpGt}
+			c.Tests = append(c.Tests, match.AttrTest{
+				Attr: fmt.Sprintf("a%d", rng.Intn(3)),
+				Op:   ops[rng.Intn(len(ops))], Var: "x"})
+		}
+		// Maybe negate non-binding CEs past the first.
+		if i > 0 && rng.Intn(4) == 0 {
+			// A negated CE must not be the binding occurrence of x.
+			neg := true
+			for _, t := range c.Tests {
+				if t.IsVar() && !bound {
+					neg = false
+				}
+			}
+			if neg {
+				c.Negated = true
+			}
+		}
+		conds = append(conds, c)
+	}
+	// Guarantee at least one positive CE.
+	allNeg := true
+	for _, c := range conds {
+		if !c.Negated {
+			allNeg = false
+			break
+		}
+	}
+	if allNeg {
+		conds[0].Negated = false
+	}
+	r := &match.Rule{
+		Name:       name,
+		Conditions: conds,
+		Actions:    []match.Action{{Kind: match.ActHalt}},
+	}
+	// Rebuild into a valid rule: if validation fails (e.g. variable
+	// used before binding because the binding CE was negated), retry
+	// deterministically by dropping var tests.
+	if r.Validate() != nil {
+		for i := range r.Conditions {
+			var keep []match.AttrTest
+			for _, t := range r.Conditions[i].Tests {
+				if !t.IsVar() {
+					keep = append(keep, t)
+				}
+			}
+			r.Conditions[i].Tests = keep
+			r.Conditions[i].Negated = false
+		}
+	}
+	return r
+}
+
+func randomWME(rng *rand.Rand, s *wm.Store) *wm.WME {
+	a := map[string]wm.Value{}
+	for i := 0; i < 3; i++ {
+		if rng.Intn(3) > 0 {
+			a[fmt.Sprintf("a%d", i)] = wm.Int(int64(rng.Intn(4)))
+		}
+	}
+	return s.Insert(fmt.Sprintf("c%d", rng.Intn(4)), a)
+}
+
+func sameConflictSets(t *testing.T, seed int64, a, b *match.ConflictSet) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("seed %d: conflict sets differ in size: rete=%d naive=%d\nrete: %v\nnaive: %v",
+			seed, a.Len(), b.Len(), a.All(), b.All())
+	}
+	for _, in := range a.All() {
+		if !b.Contains(in.Key()) {
+			t.Fatalf("seed %d: rete has %v, naive does not", seed, in)
+		}
+	}
+}
+
+// TestReteMatchesNaiveOracle drives Rete and the naive matcher with
+// identical random rule sets and random insert/remove streams and
+// requires identical conflict sets after every step.
+func TestReteMatchesNaiveOracle(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := wm.NewStore()
+		rete := New()
+		naive := match.NewNaive()
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			r := randomRule(rng, fmt.Sprintf("r%d", i))
+			if err := rete.AddRule(r); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := naive.AddRule(r); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		var live []*wm.WME
+		for step := 0; step < 60; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				w := randomWME(rng, s)
+				live = append(live, w)
+				rete.Insert(w)
+				naive.Insert(w)
+			} else {
+				i := rng.Intn(len(live))
+				w := live[i]
+				live = append(live[:i], live[i+1:]...)
+				rete.Remove(w)
+				naive.Remove(w)
+			}
+			sameConflictSets(t, seed, rete.ConflictSet(), naive.ConflictSet())
+		}
+	}
+}
+
+// TestReteLateRuleMatchesNaive checks rule addition after working
+// memory is populated (seeding path) against the oracle.
+func TestReteLateRuleMatchesNaive(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := wm.NewStore()
+		rete := New()
+		naive := match.NewNaive()
+		var live []*wm.WME
+		for i := 0; i < 20; i++ {
+			w := randomWME(rng, s)
+			live = append(live, w)
+			rete.Insert(w)
+			naive.Insert(w)
+		}
+		for i := 0; i < 3; i++ {
+			r := randomRule(rng, fmt.Sprintf("late%d", i))
+			if err := rete.AddRule(r); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := naive.AddRule(r); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			sameConflictSets(t, seed, rete.ConflictSet(), naive.ConflictSet())
+		}
+		// And keep mutating afterwards.
+		for step := 0; step < 30; step++ {
+			if len(live) == 0 || rng.Intn(2) == 0 {
+				w := randomWME(rng, s)
+				live = append(live, w)
+				rete.Insert(w)
+				naive.Insert(w)
+			} else {
+				i := rng.Intn(len(live))
+				w := live[i]
+				live = append(live[:i], live[i+1:]...)
+				rete.Remove(w)
+				naive.Remove(w)
+			}
+			sameConflictSets(t, seed, rete.ConflictSet(), naive.ConflictSet())
+		}
+	}
+}

@@ -1,0 +1,453 @@
+// Package rete implements the Rete match algorithm (Forgy 1982), the
+// incremental matcher the paper assumes for the match phase: alpha
+// memories with shared constant tests, beta memories joined by
+// variable-consistency tests, negative nodes for negated condition
+// elements, and token-tree deletion so removals are as incremental as
+// insertions. Structure follows Doorenbos's "Production Matching for
+// Large Learning Systems" basic algorithm, without unlinking.
+package rete
+
+import (
+	"fmt"
+
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// token is one row of partial-match state: a chain of WMEs (one per
+// condition element so far; nil at negative-CE levels).
+type token struct {
+	parent   *token
+	w        *wm.WME
+	node     interface{} // *memNode, *negNode or *prodNode owning this token
+	children []*token
+
+	// joinResults is used only for tokens owned by a negNode: the
+	// WMEs currently matching the negated CE under this token.
+	joinResults map[*wm.WME]bool
+
+	// instKey is used only for tokens owned by a prodNode.
+	instKey string
+}
+
+func (t *token) addChild(c *token) { t.children = append(t.children, c) }
+
+func (t *token) removeChild(c *token) {
+	for i, x := range t.children {
+		if x == c {
+			t.children = append(t.children[:i], t.children[i+1:]...)
+			return
+		}
+	}
+}
+
+// up walks n steps towards the root and returns that ancestor.
+func (t *token) up(n int) *token {
+	for ; n > 0; n-- {
+		t = t.parent
+	}
+	return t
+}
+
+// tokenSink consumes completed tokens of the previous level (left
+// activation): join nodes, negative nodes, and production nodes (when
+// the last condition element is negated).
+type tokenSink interface {
+	onToken(t *token)
+}
+
+// pairSink consumes (parent token, matching WME) pairs emitted by join
+// nodes: beta memories and production nodes.
+type pairSink interface {
+	receive(parent *token, w *wm.WME)
+}
+
+// alphaSink is right-activated when a WME enters an alpha memory.
+type alphaSink interface {
+	rightActivate(w *wm.WME)
+}
+
+// joinTest compares an attribute of the candidate WME against an
+// attribute of an earlier condition element's WME in the token chain.
+type joinTest struct {
+	op        match.Op
+	ownAttr   string
+	levelsUp  int // 0 = the join's parent token's own WME
+	otherAttr string
+}
+
+func runTests(tests []joinTest, parent *token, w *wm.WME) bool {
+	for _, jt := range tests {
+		other := parent.up(jt.levelsUp).w
+		if other == nil {
+			return false
+		}
+		if !w.HasAttr(jt.ownAttr) || !other.HasAttr(jt.otherAttr) {
+			return false
+		}
+		if !jt.op.Eval(w.Attr(jt.ownAttr), other.Attr(jt.otherAttr)) {
+			return false
+		}
+	}
+	return true
+}
+
+// alphaMem holds the WMEs passing one constant-test pattern. Alpha
+// memories are shared between rules with identical patterns.
+type alphaMem struct {
+	key        string
+	class      string
+	pred       func(w *wm.WME) bool
+	items      map[*wm.WME]bool
+	successors []alphaSink
+}
+
+// memNode is a beta memory: it stores the tokens of one positive
+// condition-element level.
+type memNode struct {
+	net      *Network
+	items    []*token
+	children []tokenSink
+}
+
+func (m *memNode) validTokens() []*token { return m.items }
+
+func (m *memNode) receive(parent *token, w *wm.WME) {
+	t := &token{parent: parent, w: w, node: m}
+	parent.addChild(t)
+	m.items = append(m.items, t)
+	m.net.registerToken(t)
+	for _, c := range m.children {
+		c.onToken(t)
+	}
+}
+
+func (m *memNode) removeToken(t *token) {
+	for i, x := range m.items {
+		if x == t {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// betaSource is the upstream of a join node: a beta memory (all tokens
+// valid) or a negative node (tokens with no join results are valid).
+type betaSource interface {
+	validTokens() []*token
+	addChildSink(s tokenSink)
+}
+
+func (m *memNode) addChildSink(s tokenSink) { m.children = append(m.children, s) }
+
+// joinNode joins its parent's tokens with its alpha memory's WMEs.
+type joinNode struct {
+	parent betaSource
+	amem   *alphaMem
+	tests  []joinTest
+	out    pairSink
+}
+
+func (j *joinNode) onToken(t *token) {
+	for w := range j.amem.items {
+		if runTests(j.tests, t, w) {
+			j.out.receive(t, w)
+		}
+	}
+}
+
+func (j *joinNode) rightActivate(w *wm.WME) {
+	for _, t := range j.parent.validTokens() {
+		if runTests(j.tests, t, w) {
+			j.out.receive(t, w)
+		}
+	}
+}
+
+// negNode implements a negated condition element. It owns one token
+// per upstream token; a token is valid (propagates downstream) while
+// its join-result set is empty.
+type negNode struct {
+	net      *Network
+	amem     *alphaMem
+	tests    []joinTest
+	items    []*token
+	children []tokenSink
+}
+
+func (n *negNode) validTokens() []*token {
+	var out []*token
+	for _, t := range n.items {
+		if len(t.joinResults) == 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (n *negNode) addChildSink(s tokenSink) { n.children = append(n.children, s) }
+
+func (n *negNode) onToken(parent *token) {
+	t := &token{parent: parent, node: n, joinResults: make(map[*wm.WME]bool)}
+	parent.addChild(t)
+	n.items = append(n.items, t)
+	for w := range n.amem.items {
+		// Negative-node tests reference the parent chain: levelsUp in
+		// compiled tests is relative to the upstream token.
+		if runTests(n.tests, parent, w) {
+			t.joinResults[w] = true
+			n.net.registerJoinResult(t, w)
+		}
+	}
+	if len(t.joinResults) == 0 {
+		for _, c := range n.children {
+			c.onToken(t)
+		}
+	}
+}
+
+func (n *negNode) rightActivate(w *wm.WME) {
+	for _, t := range n.items {
+		if !runTests(n.tests, t.parent, w) {
+			continue
+		}
+		wasEmpty := len(t.joinResults) == 0
+		t.joinResults[w] = true
+		n.net.registerJoinResult(t, w)
+		if wasEmpty {
+			// The token just became invalid: retract everything that
+			// was derived from it.
+			n.net.deleteDescendants(t)
+		}
+	}
+}
+
+func (n *negNode) removeToken(t *token) {
+	for i, x := range n.items {
+		if x == t {
+			n.items = append(n.items[:i], n.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// prodNode terminates a rule's chain and maintains its instantiations
+// in the shared conflict set.
+type prodNode struct {
+	net       *Network
+	rule      *match.Rule
+	numLevels int
+	positive  []bool // per chain level; positive levels carry the CE's WME
+	bindings  map[string]bindingPos
+	// viaToken is true when the last CE is negated: this node is
+	// left-activated with the final token instead of a (token, WME) pair.
+	viaToken bool
+}
+
+func (p *prodNode) receive(parent *token, w *wm.WME) {
+	t := &token{parent: parent, w: w, node: p}
+	parent.addChild(t)
+	p.net.registerToken(t)
+	p.activateToken(t, false)
+}
+
+func (p *prodNode) onToken(parent *token) {
+	t := &token{parent: parent, node: p}
+	parent.addChild(t)
+	p.activateToken(t, true)
+}
+
+func (p *prodNode) activateToken(t *token, bookkeepingLevel bool) {
+	// Collect the chain of CE-level tokens, oldest first.
+	depth := p.numLevels
+	if bookkeepingLevel {
+		depth++ // the prod token itself is not a CE level
+	}
+	chain := make([]*token, p.numLevels)
+	cur := t
+	for i := depth - 1; i >= 0; i-- {
+		if i < p.numLevels {
+			chain[i] = cur
+		}
+		cur = cur.parent
+	}
+	var wmes []*wm.WME
+	for i, pos := range p.positive {
+		if pos {
+			wmes = append(wmes, chain[i].w)
+		}
+	}
+	b := make(match.Bindings, len(p.bindings))
+	for v, pos := range p.bindings {
+		b[v] = chain[pos.level].w.Attr(pos.attr)
+	}
+	in := &match.Instantiation{Rule: p.rule, WMEs: wmes, Bindings: b}
+	t.instKey = in.Key()
+	p.net.cs.Add(in)
+}
+
+// Network is the Rete matcher. It implements match.Matcher.
+type Network struct {
+	alphaByClass map[string][]*alphaMem
+	alphaByKey   map[string]*alphaMem
+	top          *memNode
+	dummy        *token
+	rules        map[string]*match.Rule
+	cs           *match.ConflictSet
+	wmes         map[*wm.WME]bool
+	tokensByWME  map[*wm.WME][]*token
+	jrOwners     map[*wm.WME][]*token // tokens whose joinResults include the WME
+}
+
+// New returns an empty network.
+func New() *Network {
+	n := &Network{
+		alphaByClass: make(map[string][]*alphaMem),
+		alphaByKey:   make(map[string]*alphaMem),
+		rules:        make(map[string]*match.Rule),
+		cs:           match.NewConflictSet(),
+		wmes:         make(map[*wm.WME]bool),
+		tokensByWME:  make(map[*wm.WME][]*token),
+		jrOwners:     make(map[*wm.WME][]*token),
+	}
+	n.top = &memNode{net: n}
+	n.dummy = &token{node: n.top}
+	n.top.items = []*token{n.dummy}
+	return n
+}
+
+func (n *Network) registerToken(t *token) {
+	if t.w != nil {
+		n.tokensByWME[t.w] = append(n.tokensByWME[t.w], t)
+	}
+}
+
+func (n *Network) registerJoinResult(owner *token, w *wm.WME) {
+	n.jrOwners[w] = append(n.jrOwners[w], owner)
+}
+
+// ConflictSet returns the live conflict set.
+func (n *Network) ConflictSet() *match.ConflictSet { return n.cs }
+
+// Insert adds a WME version to the network and propagates matches.
+func (n *Network) Insert(w *wm.WME) {
+	if n.wmes[w] {
+		return
+	}
+	n.wmes[w] = true
+	for _, am := range n.alphaByClass[w.Class] {
+		if am.pred(w) {
+			am.items[w] = true
+			for _, s := range am.successors {
+				s.rightActivate(w)
+			}
+		}
+	}
+}
+
+// Remove retracts a WME version: tokens built on it are deleted, and
+// negative-node tokens it was blocking may become valid again.
+func (n *Network) Remove(w *wm.WME) {
+	if !n.wmes[w] {
+		return
+	}
+	delete(n.wmes, w)
+	for _, am := range n.alphaByClass[w.Class] {
+		delete(am.items, w)
+	}
+	// Delete the token trees rooted at tokens that matched w.
+	for _, t := range append([]*token(nil), n.tokensByWME[w]...) {
+		n.deleteToken(t)
+	}
+	delete(n.tokensByWME, w)
+	// Unblock negative-node tokens whose only join results included w.
+	owners := append([]*token(nil), n.jrOwners[w]...)
+	delete(n.jrOwners, w)
+	for _, owner := range owners {
+		if owner.joinResults == nil || !owner.joinResults[w] {
+			continue // owner was itself deleted above
+		}
+		delete(owner.joinResults, w)
+		if len(owner.joinResults) == 0 {
+			neg := owner.node.(*negNode)
+			for _, c := range neg.children {
+				c.onToken(owner)
+			}
+		}
+	}
+}
+
+// deleteDescendants removes everything derived from t but keeps t.
+func (n *Network) deleteDescendants(t *token) {
+	for len(t.children) > 0 {
+		n.deleteToken(t.children[len(t.children)-1])
+	}
+}
+
+// deleteToken removes t and its whole subtree from the network.
+func (n *Network) deleteToken(t *token) {
+	n.deleteDescendants(t)
+	switch node := t.node.(type) {
+	case *memNode:
+		node.removeToken(t)
+	case *negNode:
+		node.removeToken(t)
+		for w := range t.joinResults {
+			n.unregisterJoinResult(t, w)
+		}
+		t.joinResults = nil
+	case *prodNode:
+		n.cs.Remove(t.instKey)
+	}
+	if t.w != nil {
+		n.unregisterTokenWME(t)
+	}
+	if t.parent != nil {
+		t.parent.removeChild(t)
+	}
+}
+
+func (n *Network) unregisterTokenWME(t *token) {
+	list := n.tokensByWME[t.w]
+	for i, x := range list {
+		if x == t {
+			n.tokensByWME[t.w] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *Network) unregisterJoinResult(owner *token, w *wm.WME) {
+	list := n.jrOwners[w]
+	for i, x := range list {
+		if x == owner {
+			n.jrOwners[w] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats reports network size for diagnostics and benchmarks.
+type Stats struct {
+	AlphaMems int
+	WMEs      int
+	Rules     int
+	Insts     int
+}
+
+// Stats returns current network statistics.
+func (n *Network) Stats() Stats {
+	return Stats{
+		AlphaMems: len(n.alphaByKey),
+		WMEs:      len(n.wmes),
+		Rules:     len(n.rules),
+		Insts:     n.cs.Len(),
+	}
+}
+
+var _ match.Matcher = (*Network)(nil)
+
+// errorf is a tiny indirection so compile errors share a prefix.
+func errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("rete: "+format, args...)
+}

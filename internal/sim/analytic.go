@@ -1,0 +1,85 @@
+package sim
+
+import "pdps/internal/core"
+
+// Analytic bounds for the multiprocessor model — the "formal analysis
+// of these effects" the paper reports as work in progress (Section 5).
+// For a conflict-free wave (no delete sets among the active
+// productions) the schedule is classic list scheduling, so Graham's
+// bounds apply; with conflicts, the committed work and the longest
+// committed production still bound the completion time from below.
+
+// GrahamBounds returns lower and upper bounds for the makespan of list
+// scheduling the given execution times on np processors:
+//
+//	lb = max(ceil(total/np), max time)
+//	ub = total/np + max time   (Graham's (2 - 1/m) style bound)
+func GrahamBounds(times []int, np int) (lb, ub int) {
+	if np < 1 || len(times) == 0 {
+		return 0, 0
+	}
+	total, max := 0, 0
+	for _, t := range times {
+		total += t
+		if t > max {
+			max = t
+		}
+	}
+	lb = (total + np - 1) / np
+	if max > lb {
+		lb = max
+	}
+	ub = total/np + max
+	return lb, ub
+}
+
+// SpeedupUpperBound returns the analytic ceiling on the speed-up of a
+// derived run: parallelism cannot exceed the processor count, nor the
+// ratio of total committed work to the longest committed production
+// (the critical path of a single wave).
+func SpeedupUpperBound(r Result, np int) float64 {
+	if len(r.Commits) == 0 {
+		return 0
+	}
+	// The longest committed slot is the single-wave critical path.
+	max := 0
+	for _, s := range r.Schedule {
+		if s.Committed && s.End-s.Start > max {
+			max = s.End - s.Start
+		}
+	}
+	if max == 0 {
+		return float64(np)
+	}
+	byWork := float64(r.TSingle) / float64(max)
+	if f := float64(np); f < byWork {
+		return f
+	}
+	return byWork
+}
+
+// ConflictFree reports whether none of the system's productions can
+// deactivate another (empty delete sets), i.e. the initial conflict
+// set executes as one list-scheduled wave.
+func ConflictFree(sys *core.System) bool {
+	for _, p := range sys.Productions() {
+		if len(p.Del) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// WaveTimes returns the execution times of the initially active
+// productions, the input to GrahamBounds for conflict-free systems
+// with no add sets.
+func WaveTimes(sys *core.System) []int {
+	initial := core.State(sys.Initial())
+	var out []int
+	for _, p := range sys.Productions() {
+		if initial.Contains(p.Name) {
+			out = append(out, p.Time)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pdps/internal/core"
+	"pdps/internal/workload"
+)
+
+// randomConflictFree builds a system of n independent productions
+// (no adds, no deletes) with random times.
+func randomConflictFree(seed int64, n, maxTime int) *core.System {
+	rng := rand.New(rand.NewSource(seed))
+	prods := make([]*core.Production, n)
+	names := make([]string, n)
+	for i := range prods {
+		names[i] = string(rune('A' + i%26))
+		if i >= 26 {
+			names[i] = names[i] + string(rune('0'+i/26))
+		}
+		prods[i] = &core.Production{Name: names[i], Time: 1 + rng.Intn(maxTime)}
+	}
+	s, err := core.NewSystem(prods, names)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestGrahamBoundsHoldForConflictFreeWaves property-tests the analytic
+// model: the simulator's makespan always lies within Graham's bounds
+// for list scheduling.
+func TestGrahamBoundsHoldForConflictFreeWaves(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		n := 2 + int(seed%9)
+		sys := randomConflictFree(seed, n, 7)
+		if !ConflictFree(sys) {
+			t.Fatal("generator broken")
+		}
+		for np := 1; np <= n+1; np++ {
+			res, err := Run(sys, Config{Np: np})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, ub := GrahamBounds(WaveTimes(sys), np)
+			if res.TMulti < lb || res.TMulti > ub {
+				t.Fatalf("seed %d np %d: T_multi = %d outside [%d, %d]",
+					seed, np, res.TMulti, lb, ub)
+			}
+		}
+	}
+}
+
+// TestSpeedupNeverExceedsAnalyticBound checks the speed-up ceiling on
+// both the paper fixtures and random systems (with conflicts).
+func TestSpeedupNeverExceedsAnalyticBound(t *testing.T) {
+	systems := []*core.System{
+		workload.Fig51System(),
+		workload.Fig52System(),
+		workload.Fig53System(),
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		systems = append(systems, workload.RandomAbstract(seed, 10, 2, 1, 6))
+	}
+	for i, sys := range systems {
+		for np := 1; np <= 6; np++ {
+			res, err := Run(sys, Config{Np: np})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Commits) == 0 {
+				continue
+			}
+			bound := SpeedupUpperBound(res, np)
+			if res.Speedup() > bound+1e-9 {
+				t.Fatalf("system %d np %d: speedup %.3f exceeds bound %.3f",
+					i, np, res.Speedup(), bound)
+			}
+		}
+	}
+}
+
+func TestGrahamBoundsEdgeCases(t *testing.T) {
+	if lb, ub := GrahamBounds(nil, 4); lb != 0 || ub != 0 {
+		t.Fatal("empty times")
+	}
+	if lb, ub := GrahamBounds([]int{5}, 0); lb != 0 || ub != 0 {
+		t.Fatal("np=0")
+	}
+	lb, ub := GrahamBounds([]int{5, 3, 2, 4}, 4)
+	if lb != 5 { // max time dominates
+		t.Fatalf("lb = %d, want 5", lb)
+	}
+	if ub < lb {
+		t.Fatalf("ub %d < lb %d", ub, lb)
+	}
+	lb, _ = GrahamBounds([]int{2, 2, 2, 2}, 2)
+	if lb != 4 { // total/np dominates
+		t.Fatalf("lb = %d, want 4", lb)
+	}
+}
+
+func TestConflictFreeDetection(t *testing.T) {
+	if ConflictFree(workload.Fig51System()) {
+		t.Fatal("fig 5.1 has a delete set")
+	}
+	if !ConflictFree(randomConflictFree(1, 4, 3)) {
+		t.Fatal("independent wave misdetected")
+	}
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pdps/internal/core"
+	"pdps/internal/workload"
+)
+
+func mustRun(t *testing.T, sys *core.System, np int) Result {
+	t.Helper()
+	res, err := Run(sys, Config{Np: np})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFig51BaseCase asserts the paper's base example (Figure 5.1):
+// T_single(σ1)=9, T_multi=4, speedup 2.25, σ1 = p3 p2 p4, P1 aborted.
+func TestFig51BaseCase(t *testing.T) {
+	res := mustRun(t, workload.Fig51System(), 4)
+	if got := res.Sigma(); !reflect.DeepEqual(got, []string{"P3", "P2", "P4"}) {
+		t.Fatalf("sigma = %v, want [P3 P2 P4]", got)
+	}
+	if res.TSingle != 9 {
+		t.Errorf("T_single = %d, want 9", res.TSingle)
+	}
+	if res.TMulti != 4 {
+		t.Errorf("T_multi = %d, want 4", res.TMulti)
+	}
+	if s := res.Speedup(); s != 2.25 {
+		t.Errorf("speedup = %v, want 2.25", s)
+	}
+	if len(res.Aborts) != 1 || res.Aborts[0].Name != "P1" || res.Aborts[0].By != "P2" || res.Aborts[0].At != 3 {
+		t.Errorf("aborts = %+v, want P1 aborted by P2 at t=3", res.Aborts)
+	}
+}
+
+// TestFig52DegreeOfConflict asserts Figure 5.2: with higher conflict,
+// σ2 = p3 p2, T_single=5, T_multi=3, speedup 5/3.
+func TestFig52DegreeOfConflict(t *testing.T) {
+	res := mustRun(t, workload.Fig52System(), 4)
+	if got := res.Sigma(); !reflect.DeepEqual(got, []string{"P3", "P2"}) {
+		t.Fatalf("sigma = %v, want [P3 P2]", got)
+	}
+	if res.TSingle != 5 || res.TMulti != 3 {
+		t.Errorf("T_single/T_multi = %d/%d, want 5/3", res.TSingle, res.TMulti)
+	}
+	if s := res.Speedup(); s < 1.66 || s > 1.67 {
+		t.Errorf("speedup = %v, want 1.67", s)
+	}
+	if len(res.Aborts) != 2 {
+		t.Errorf("aborts = %+v, want P4 (by P3) and P1 (by P2)", res.Aborts)
+	}
+}
+
+// TestFig53ExecutionTimeVariation asserts Figure 5.3: T(P2)+1 gives
+// T_single=10, T_multi=4, speedup 2.5.
+func TestFig53ExecutionTimeVariation(t *testing.T) {
+	res := mustRun(t, workload.Fig53System(), 4)
+	if res.TSingle != 10 || res.TMulti != 4 {
+		t.Fatalf("T_single/T_multi = %d/%d, want 10/4", res.TSingle, res.TMulti)
+	}
+	if s := res.Speedup(); s != 2.5 {
+		t.Errorf("speedup = %v, want 2.5", s)
+	}
+}
+
+// TestFig54ProcessorVariation asserts Figure 5.4: the base case on
+// Np=3 gives T_single=9, T_multi=6, speedup 1.5 (P4 waits for P3's
+// processor).
+func TestFig54ProcessorVariation(t *testing.T) {
+	res := mustRun(t, workload.Fig51System(), workload.Fig54Np())
+	if got := res.Sigma(); !reflect.DeepEqual(got, []string{"P3", "P2", "P4"}) {
+		t.Fatalf("sigma = %v, want [P3 P2 P4]", got)
+	}
+	if res.TSingle != 9 || res.TMulti != 6 {
+		t.Fatalf("T_single/T_multi = %d/%d, want 9/6", res.TSingle, res.TMulti)
+	}
+	if s := res.Speedup(); s != 1.5 {
+		t.Errorf("speedup = %v, want 1.5", s)
+	}
+	// P4 must have started at t=2 on the processor P3 vacated.
+	for _, s := range res.Schedule {
+		if s.Name == "P4" && (s.Start != 2 || s.End != 6) {
+			t.Errorf("P4 slot = %+v, want start 2 end 6", s)
+		}
+	}
+}
+
+// TestExample51Uniprocessor asserts the inequality of Example 5.1:
+// multi-thread on a uniprocessor is never faster than single-thread,
+// for any abort fraction f in [0,1).
+func TestExample51Uniprocessor(t *testing.T) {
+	res := mustRun(t, workload.Fig51System(), 4)
+	for _, f := range []float64{0, 0.25, 0.5, 0.99} {
+		tm := res.UniprocessorMultiTime(f)
+		if tm < float64(res.TSingle) {
+			t.Errorf("f=%v: T_multi,uni = %v < T_single = %d", f, tm, res.TSingle)
+		}
+	}
+	// With f=0.5 the wasted work is half of P1's full 5 units.
+	if got := res.UniprocessorMultiTime(0.5); got != 9+2.5 {
+		t.Errorf("T_multi,uni(0.5) = %v, want 11.5", got)
+	}
+}
+
+// TestSigmaIsValidSingleThreadSequence ties Section 5 back to Section
+// 3: every commit sequence the simulator derives must be semantically
+// consistent (a valid single-thread sequence).
+func TestSigmaIsValidSingleThreadSequence(t *testing.T) {
+	systems := []*core.System{
+		workload.Fig51System(),
+		workload.Fig52System(),
+		workload.Fig53System(),
+		workload.Fig32System(),
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		systems = append(systems, workload.RandomAbstract(seed, 8, 2, 1, 5))
+	}
+	for i, sys := range systems {
+		for np := 1; np <= 5; np++ {
+			res, err := Run(sys, Config{Np: np})
+			if err != nil {
+				t.Fatalf("system %d np %d: %v", i, np, err)
+			}
+			if !sys.IsValidSequence(res.Sigma()) {
+				t.Fatalf("system %d np %d: derived sigma %v is not a valid sequence: %v",
+					i, np, res.Sigma(), sys.ExplainInvalid(res.Sigma()))
+			}
+		}
+	}
+}
+
+// TestSingleProcessorMatchesSerial checks Np=1 degenerates to serial
+// execution: no two slots overlap and speedup is at most 1.
+func TestSingleProcessorMatchesSerial(t *testing.T) {
+	res := mustRun(t, workload.Fig51System(), 1)
+	for i, a := range res.Schedule {
+		for _, b := range res.Schedule[i+1:] {
+			if a.Start < b.End && b.Start < a.End {
+				t.Fatalf("overlapping slots on uniprocessor: %+v / %+v", a, b)
+			}
+		}
+	}
+	if s := res.Speedup(); s > 1.0 {
+		t.Errorf("speedup on uniprocessor = %v > 1", s)
+	}
+}
+
+// TestSpeedupMonotonicInProcessors: for the conflict-chain workload,
+// adding processors never hurts (the paper's Section 5.3 observation).
+func TestSpeedupMonotonicInProcessors(t *testing.T) {
+	sys := workload.ConflictChain(12, 0, 2) // no conflict: pure parallelism
+	prev := 0.0
+	for np := 1; np <= 6; np++ {
+		res := mustRun(t, sys, np)
+		if res.Speedup() < prev-1e-9 {
+			t.Fatalf("speedup decreased at np=%d: %v -> %v", np, prev, res.Speedup())
+		}
+		prev = res.Speedup()
+	}
+	// And with enough processors it must exceed 1.
+	if prev <= 1.0 {
+		t.Fatalf("no speedup with 6 processors: %v", prev)
+	}
+}
+
+// TestSpeedupDecreasesWithConflict: higher degree of conflict gives
+// lower speedup on the same workload (Section 5.1).
+func TestSpeedupDecreasesWithConflict(t *testing.T) {
+	var speeds []float64
+	for _, degree := range []int{0, 2, 6, 11} {
+		res := mustRun(t, workload.ConflictChain(12, degree, 2), 12)
+		speeds = append(speeds, res.Speedup())
+	}
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] > speeds[i-1]+1e-9 {
+			t.Fatalf("speedup rose with more conflict: %v", speeds)
+		}
+	}
+	if speeds[0] <= speeds[len(speeds)-1] {
+		t.Fatalf("conflict sweep is flat: %v", speeds)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(workload.Fig51System(), Config{Np: 0}); err == nil {
+		t.Fatal("Np=0 must error")
+	}
+	// Non-terminating system hits MaxCommits.
+	sys, err := core.NewSystem([]*core.Production{
+		{Name: "P", Add: []string{"P"}, Time: 1},
+	}, []string{"P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, Config{Np: 1, MaxCommits: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.Commits) != 7 {
+		t.Fatalf("truncated=%v commits=%d, want truncation at 7", res.Truncated, len(res.Commits))
+	}
+}
+
+// TestAddSetsScheduleMidRun: a production activated by a commit gets a
+// processor when one frees and contributes to the commit sequence.
+func TestAddSetsScheduleMidRun(t *testing.T) {
+	sys, err := core.NewSystem([]*core.Production{
+		{Name: "A", Time: 2, Add: []string{"C"}},
+		{Name: "B", Time: 5},
+		{Name: "C", Time: 1},
+	}, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Np=2: A(0-2) commits, activates C; C runs 2-3 on A's processor;
+	// B finishes at 5.
+	res := mustRun(t, sys, 2)
+	if got := res.Sigma(); !reflect.DeepEqual(got, []string{"A", "C", "B"}) {
+		t.Fatalf("sigma = %v", got)
+	}
+	if res.TMulti != 5 {
+		t.Fatalf("T_multi = %d, want 5", res.TMulti)
+	}
+	for _, s := range res.Schedule {
+		if s.Name == "C" && (s.Start != 2 || s.End != 3) {
+			t.Fatalf("C slot = %+v, want 2..3", s)
+		}
+	}
+	// Np=1: strictly serial: A(0-2), then B(2-7), then C(7-8).
+	res1 := mustRun(t, sys, 1)
+	if res1.TMulti != 8 {
+		t.Fatalf("Np=1 T_multi = %d, want 8", res1.TMulti)
+	}
+}
+
+// TestSelfReAddRunsAgain: a production whose add set re-activates
+// itself is rescheduled after each commit.
+func TestSelfReAddRunsAgain(t *testing.T) {
+	sys, err := core.NewSystem([]*core.Production{
+		{Name: "P", Time: 2, Add: []string{"P"}},
+	}, []string{"P"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, Config{Np: 3, MaxCommits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Commits) != 4 || !res.Truncated {
+		t.Fatalf("commits = %v truncated = %v", res.Commits, res.Truncated)
+	}
+	// Sequential self-dependency: commit times 2, 4, 6, 8.
+	for i, c := range res.Commits {
+		if c.Time != (i+1)*2 {
+			t.Fatalf("commit %d at %d, want %d", i, c.Time, (i+1)*2)
+		}
+	}
+}
+
+// TestAbortFreesProcessorForQueuedWork: an aborted production's
+// processor is reused by queued productions at the abort time.
+func TestAbortFreesProcessorForQueuedWork(t *testing.T) {
+	sys, err := core.NewSystem([]*core.Production{
+		{Name: "K", Time: 1, Del: []string{"L"}}, // killer commits at 1
+		{Name: "L", Time: 10},                    // long victim
+		{Name: "W", Time: 2},                     // queued work
+	}, []string{"K", "L", "W"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Np=2: K(0-1) and L(0-10 aborted at 1); W waits, starts at 1 on a
+	// freed processor, commits at 3.
+	res := mustRun(t, sys, 2)
+	if res.TMulti != 3 {
+		t.Fatalf("T_multi = %d, want 3 (W reuses the victim's processor)", res.TMulti)
+	}
+	if len(res.Aborts) != 1 || res.Aborts[0].Name != "L" || res.Aborts[0].Ran != 1 {
+		t.Fatalf("aborts = %+v", res.Aborts)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	res := mustRun(t, workload.Fig51System(), 4)
+	g := res.Gantt()
+	if !strings.Contains(g, "proc 1") || !strings.Contains(g, "proc 4") {
+		t.Fatalf("Gantt missing processors:\n%s", g)
+	}
+	if !strings.Contains(g, "x") {
+		t.Fatalf("Gantt missing abort marker:\n%s", g)
+	}
+}

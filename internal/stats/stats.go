@@ -1,0 +1,162 @@
+// Package stats provides small, concurrency-safe measurement
+// primitives — counters and power-of-two latency histograms — used by
+// the engines and the psbench harness to characterise firing latency
+// and lock behaviour without external dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an atomic event counter.
+type Counter struct{ n int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { atomic.AddInt64(&c.n, d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.n) }
+
+// Histogram is a power-of-two bucketed duration histogram: bucket i
+// holds samples in [2^i, 2^(i+1)) microseconds. The zero value is
+// ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [40]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := d.Microseconds()
+	idx := 0
+	if us > 0 {
+		idx = int(math.Log2(float64(us)))
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1)
+// from the bucket boundaries.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var seen int64
+	for i, b := range h.buckets {
+		seen += b
+		if seen >= target {
+			upper := time.Duration(1<<uint(i+1)) * time.Microsecond
+			if upper > h.max && h.max > 0 {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	h.mu.Lock()
+	count, mean, min, max := h.count, time.Duration(0), h.min, h.max
+	if count > 0 {
+		mean = h.sum / time.Duration(count)
+	}
+	h.mu.Unlock()
+	return fmt.Sprintf("n=%d min=%v mean=%v max=%v p99<=%v",
+		count, min, mean, max, h.Quantile(0.99))
+}
+
+// Bars renders an ASCII bucket chart (for psbench/psshell output).
+func (h *Histogram) Bars(width int) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var peak int64
+	lo, hi := -1, -1
+	for i, b := range h.buckets {
+		if b > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if b > peak {
+				peak = b
+			}
+		}
+	}
+	if lo < 0 {
+		return "(no samples)\n"
+	}
+	var sb strings.Builder
+	for i := lo; i <= hi; i++ {
+		n := int(h.buckets[i] * int64(width) / peak)
+		fmt.Fprintf(&sb, "%10v |%-*s| %d\n",
+			time.Duration(1<<uint(i))*time.Microsecond, width, strings.Repeat("#", n), h.buckets[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	c.Add(-8000)
+	if c.Value() != 0 {
+		t.Fatalf("Value = %d after Add(-8000)", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero histogram not zero")
+	}
+	samples := []time.Duration{
+		10 * time.Microsecond,
+		20 * time.Microsecond,
+		100 * time.Microsecond,
+		time.Millisecond,
+	}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Min() != 10*time.Microsecond || h.Max() != time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	wantMean := (10 + 20 + 100 + 1000) * time.Microsecond / 4
+	if h.Mean() != wantMean {
+		t.Fatalf("Mean = %v, want %v", h.Mean(), wantMean)
+	}
+	// The median upper bound must cover the second sample but be well
+	// under the max.
+	med := h.Quantile(0.5)
+	if med < 20*time.Microsecond || med > 100*time.Microsecond {
+		t.Fatalf("median bound = %v", med)
+	}
+	if h.Quantile(1.0) != time.Millisecond {
+		t.Fatalf("p100 = %v", h.Quantile(1.0))
+	}
+	if h.Quantile(2.0) != time.Millisecond || h.Quantile(-1) != 0 {
+		t.Fatal("quantile clamping wrong")
+	}
+}
+
+func TestHistogramNegativeAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second) // clamped to 0
+	h.Observe(300 * time.Hour)  // lands in the last bucket
+	if h.Count() != 2 {
+		t.Fatal("samples lost")
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min = %v", h.Min())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	var h Histogram
+	if !strings.Contains(h.Bars(20), "no samples") {
+		t.Fatal("empty Bars wrong")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(50+i) * time.Microsecond)
+	}
+	bars := h.Bars(30)
+	if !strings.Contains(bars, "#") {
+		t.Fatalf("Bars missing bars:\n%s", bars)
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=100") || !strings.Contains(s, "p99") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,137 @@
+package wm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Durable is a file-backed working memory: a snapshot file plus a
+// write-ahead log in one directory. Opening recovers the store
+// (snapshot, then log replay, dropping any torn tail) and immediately
+// checkpoints, so the on-disk state is always snapshot-consistent
+// before new work appends to a fresh log.
+type Durable struct {
+	dir     string
+	store   *Store
+	wal     *WAL
+	walFile *os.File
+}
+
+const (
+	snapshotFile = "snapshot.wm"
+	walFile      = "wal.log"
+)
+
+// OpenDurable opens (or initialises) a durable store in dir.
+func OpenDurable(dir string) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wm: durable: %w", err)
+	}
+	d := &Durable{dir: dir}
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		s, rerr := ReadSnapshot(f)
+		f.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("wm: durable: snapshot: %w", rerr)
+		}
+		d.store = s
+	} else if os.IsNotExist(err) {
+		d.store = NewStore()
+	} else {
+		return nil, fmt.Errorf("wm: durable: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	if f, err := os.Open(walPath); err == nil {
+		if _, rerr := ReplayWAL(f, d.store); rerr != nil {
+			f.Close()
+			return nil, fmt.Errorf("wm: durable: replay: %w", rerr)
+		}
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("wm: durable: %w", err)
+	}
+
+	// Fold the recovered log into a fresh snapshot and start a clean
+	// log; this also disposes of any torn tail.
+	if err := d.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Store returns the in-memory store; mutate it through transactions
+// whose commit deltas are appended to WAL().
+func (d *Durable) Store() *Store { return d.store }
+
+// WAL returns the live write-ahead log (hand it to engine options).
+func (d *Durable) WAL() *WAL { return d.wal }
+
+// Checkpoint writes the current store to the snapshot file (via a
+// temporary file and rename) and truncates the log.
+func (d *Durable) Checkpoint() error {
+	snapPath := filepath.Join(d.dir, snapshotFile)
+	tmp, err := os.CreateTemp(d.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	if err := d.store.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), snapPath); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+
+	if d.walFile != nil {
+		d.walFile.Close()
+	}
+	f, err := os.Create(filepath.Join(d.dir, walFile))
+	if err != nil {
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	w, err := NewWAL(f)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	d.walFile = f
+	d.wal = w
+	return nil
+}
+
+// Sync flushes the log file to stable storage.
+func (d *Durable) Sync() error {
+	if d.walFile == nil {
+		return nil
+	}
+	return d.walFile.Sync()
+}
+
+// Close syncs and closes the log. The directory remains recoverable.
+func (d *Durable) Close() error {
+	if d.walFile == nil {
+		return nil
+	}
+	if err := d.walFile.Sync(); err != nil {
+		d.walFile.Close()
+		return err
+	}
+	err := d.walFile.Close()
+	d.walFile = nil
+	return err
+}

@@ -1,0 +1,442 @@
+package wm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+)
+
+// Persistence gives working memory the "knowledge persistence" the
+// paper's introduction motivates: point-in-time snapshots plus a
+// write-ahead log of commit deltas. A store is recovered by loading
+// the latest snapshot and replaying the log; every record carries a
+// CRC so torn tails are detected and recovery stops cleanly at the
+// last complete record.
+
+const (
+	snapshotMagic = "PDPSSNP1"
+	walMagic      = "PDPSWAL1"
+)
+
+// WriteSnapshot serialises the store's current contents, including the
+// ID and recency counters, so recovery continues the same sequences.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeU64(bw, uint64(s.nextID))
+	writeU64(bw, s.clock)
+	writeU64(bw, uint64(len(s.byID)))
+	// Deterministic order: by ID.
+	ids := make([]int64, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	for _, id := range ids {
+		if err := writeWME(bw, s.byID[id]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a store from a snapshot stream.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("wm: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("wm: bad snapshot magic %q", magic)
+	}
+	s := NewStore()
+	nextID, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	clock, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	count, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID = int64(nextID)
+	s.clock = clock
+	for i := uint64(0); i < count; i++ {
+		w, err := readWME(br)
+		if err != nil {
+			return nil, fmt.Errorf("wm: snapshot WME %d: %w", i, err)
+		}
+		s.addLocked(w)
+	}
+	return s, nil
+}
+
+// WAL is an append-only write-ahead log of commit deltas. Append is
+// safe for concurrent use (engines call it from worker goroutines).
+type WAL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+	n   int // records appended
+}
+
+// NewWAL starts a log on the writer, emitting the header.
+func NewWAL(w io.Writer) (*WAL, error) {
+	if _, err := io.WriteString(w, walMagic); err != nil {
+		return nil, err
+	}
+	return &WAL{w: w}, nil
+}
+
+// Append writes one delta record: removes as (id, timetag) pairs and
+// adds as full WMEs, framed with a length and CRC32.
+func (l *WAL) Append(d *Delta) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = l.buf[:0]
+	l.buf = appendU64(l.buf, uint64(len(d.Removes)))
+	for _, w := range d.Removes {
+		l.buf = appendU64(l.buf, uint64(w.ID))
+		l.buf = appendU64(l.buf, w.TimeTag)
+	}
+	l.buf = appendU64(l.buf, uint64(len(d.Adds)))
+	for _, w := range d.Adds {
+		l.buf = appendWME(l.buf, w)
+	}
+	var frame [12]byte
+	binary.BigEndian.PutUint64(frame[:8], uint64(len(l.buf)))
+	binary.BigEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(l.buf))
+	if _, err := l.w.Write(frame[:]); err != nil {
+		return err
+	}
+	if _, err := l.w.Write(l.buf); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Records returns how many records have been appended.
+func (l *WAL) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// ReplayWAL applies the log's deltas to the store in order and returns
+// the number of complete records applied. A truncated or corrupt tail
+// ends replay without error (standard recovery semantics); corruption
+// before the tail is reported.
+func ReplayWAL(r io.Reader, s *Store) (int, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return 0, fmt.Errorf("wm: wal header: %w", err)
+	}
+	if string(magic) != walMagic {
+		return 0, fmt.Errorf("wm: bad wal magic %q", magic)
+	}
+	applied := 0
+	for {
+		var frame [12]byte
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return applied, nil // clean or torn end
+		}
+		length := binary.BigEndian.Uint64(frame[:8])
+		sum := binary.BigEndian.Uint32(frame[8:])
+		if length > 1<<30 {
+			return applied, fmt.Errorf("wm: wal record %d: absurd length %d", applied, length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return applied, nil // torn tail
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return applied, fmt.Errorf("wm: wal record %d: checksum mismatch", applied)
+		}
+		if err := s.applyWALRecord(body); err != nil {
+			return applied, fmt.Errorf("wm: wal record %d: %w", applied, err)
+		}
+		applied++
+	}
+}
+
+// applyWALRecord re-applies a logged delta exactly (preserving IDs and
+// time tags rather than re-assigning them).
+func (s *Store) applyWALRecord(body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &byteReader{b: body}
+	nRem, err := p.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nRem; i++ {
+		id, err := p.u64()
+		if err != nil {
+			return err
+		}
+		if _, err := p.u64(); err != nil { // timetag, informational
+			return err
+		}
+		w, ok := s.byID[int64(id)]
+		if !ok {
+			return fmt.Errorf("remove of absent WME %d", id)
+		}
+		s.removeLocked(w)
+	}
+	nAdd, err := p.u64()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nAdd; i++ {
+		w, err := p.wme()
+		if err != nil {
+			return err
+		}
+		s.addLocked(w)
+		if w.ID > s.nextID {
+			s.nextID = w.ID
+		}
+		if w.TimeTag > s.clock {
+			s.clock = w.TimeTag
+		}
+	}
+	return nil
+}
+
+// --- encoding helpers ---
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.Write(b[:]) //nolint:errcheck // surfaced by the final Flush
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendU64(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v Value) []byte {
+	b = append(b, byte(v.kind))
+	switch v.kind {
+	case KindInt, KindBool:
+		b = appendU64(b, uint64(v.i))
+	case KindFloat:
+		b = appendU64(b, math.Float64bits(v.f))
+	case KindString, KindSymbol:
+		b = appendString(b, v.s)
+	}
+	return b
+}
+
+func appendWME(b []byte, w *WME) []byte {
+	b = appendU64(b, uint64(w.ID))
+	b = appendU64(b, w.TimeTag)
+	b = appendString(b, w.Class)
+	names := w.AttrNames()
+	b = appendU64(b, uint64(len(names)))
+	for _, n := range names {
+		b = appendString(b, n)
+		b = appendValue(b, w.attrs[n])
+	}
+	return b
+}
+
+func writeWME(w *bufio.Writer, x *WME) error {
+	buf := appendWME(nil, x)
+	_, err := w.Write(buf)
+	return err
+}
+
+// byteReader decodes from an in-memory record.
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	if r.pos+8 > len(r.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return v, nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := r.u64()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.b) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *byteReader) value() (Value, error) {
+	if r.pos >= len(r.b) {
+		return Value{}, io.ErrUnexpectedEOF
+	}
+	kind := Kind(r.b[r.pos])
+	r.pos++
+	switch kind {
+	case KindNil:
+		return Nil(), nil
+	case KindInt:
+		v, err := r.u64()
+		return Value{kind: KindInt, i: int64(v)}, err
+	case KindBool:
+		v, err := r.u64()
+		return Value{kind: KindBool, i: int64(v)}, err
+	case KindFloat:
+		v, err := r.u64()
+		return Float(math.Float64frombits(v)), err
+	case KindString, KindSymbol:
+		s, err := r.str()
+		return Value{kind: kind, s: s}, err
+	}
+	return Value{}, fmt.Errorf("wm: unknown value kind %d", kind)
+}
+
+func (r *byteReader) wme() (*WME, error) {
+	id, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	tag, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	class, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	attrs := make(map[string]Value, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.value()
+		if err != nil {
+			return nil, err
+		}
+		attrs[name] = v
+	}
+	return &WME{ID: int64(id), TimeTag: tag, Class: class, attrs: attrs}, nil
+}
+
+// readWME decodes one WME from a stream (snapshot format).
+func readWME(br *bufio.Reader) (*WME, error) {
+	// Snapshot WMEs use the same layout as WAL adds; decode by
+	// buffering the variable-size pieces through the stream reader.
+	id, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	tag, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	class, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	n, err := readU64(br)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make(map[string]Value, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := readValue(br)
+		if err != nil {
+			return nil, err
+		}
+		attrs[name] = v
+	}
+	return &WME{ID: int64(id), TimeTag: tag, Class: class, attrs: attrs}, nil
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := readU64(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("wm: absurd string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func readValue(br *bufio.Reader) (Value, error) {
+	kb, err := br.ReadByte()
+	if err != nil {
+		return Value{}, err
+	}
+	kind := Kind(kb)
+	switch kind {
+	case KindNil:
+		return Nil(), nil
+	case KindInt, KindBool:
+		v, err := readU64(br)
+		return Value{kind: kind, i: int64(v)}, err
+	case KindFloat:
+		v, err := readU64(br)
+		return Float(math.Float64frombits(v)), err
+	case KindString, KindSymbol:
+		s, err := readString(br)
+		return Value{kind: kind, s: s}, err
+	}
+	return Value{}, fmt.Errorf("wm: unknown value kind %d", kind)
+}
+
+func sortIDs(ids []int64) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

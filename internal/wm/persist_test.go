@@ -1,0 +1,220 @@
+package wm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Insert("part", attrs("id", 1, "status", "ready", "w", 2.5))
+	s.Insert("machine", attrs("name", Str("mill #1"), "free", true))
+	w3 := s.Insert("part", attrs("id", 2))
+	s.Remove(w3.ID)
+	s.Insert("part", attrs("id", 3))
+
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), s.Len())
+	}
+	for _, orig := range s.All() {
+		loaded, ok := got.Get(orig.ID)
+		if !ok {
+			t.Fatalf("WME %d missing after reload", orig.ID)
+		}
+		if !loaded.EqualContent(orig) || loaded.TimeTag != orig.TimeTag {
+			t.Fatalf("WME %d changed: %v vs %v", orig.ID, loaded, orig)
+		}
+	}
+	// Counters continue: the next insert gets a fresh ID and tag.
+	n := got.Insert("part", attrs("id", 9))
+	for _, orig := range s.All() {
+		if n.ID == orig.ID {
+			t.Fatal("reloaded store reused an ID")
+		}
+		if n.TimeTag <= orig.TimeTag {
+			t.Fatal("reloaded store reused a time tag")
+		}
+	}
+}
+
+func TestSnapshotBadInput(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("NOTASNAP")); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	if _, err := ReadSnapshot(strings.NewReader("PD")); err == nil {
+		t.Fatal("short header must error")
+	}
+	// Truncated body.
+	s := NewStore()
+	s.Insert("a", attrs("v", 1))
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadSnapshot(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot must error")
+	}
+}
+
+func TestWALRecoveryReproducesStore(t *testing.T) {
+	// Run a sequence of transactions against a live store while
+	// logging, then recover from snapshot+log and compare.
+	live := NewStore()
+	live.Insert("counter", attrs("n", 0))
+	var snap bytes.Buffer
+	if err := live.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	wal, err := NewWAL(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		tx := live.Begin()
+		c := tx.ByClass("counter")[0]
+		if _, err := tx.Modify(c.ID, attrs("n", i+1)); err != nil {
+			t.Fatal(err)
+		}
+		tx.Insert("log", attrs("step", i))
+		if i%3 == 2 {
+			logs := tx.ByClass("log")
+			if err := tx.Remove(logs[0].ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.Append(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wal.Records() != 10 {
+		t.Fatalf("records = %d", wal.Records())
+	}
+
+	recovered, err := ReadSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := ReplayWAL(bytes.NewReader(logBuf.Bytes()), recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 10 {
+		t.Fatalf("applied = %d, want 10", applied)
+	}
+	if recovered.Len() != live.Len() {
+		t.Fatalf("recovered Len = %d, want %d", recovered.Len(), live.Len())
+	}
+	for _, orig := range live.All() {
+		got, ok := recovered.Get(orig.ID)
+		if !ok || !got.EqualContent(orig) || got.TimeTag != orig.TimeTag {
+			t.Fatalf("WME %d mismatch after recovery: %v vs %v", orig.ID, got, orig)
+		}
+	}
+	// Counters restored: no ID reuse after recovery.
+	n := recovered.Insert("x", nil)
+	if _, clash := live.Get(n.ID); clash {
+		t.Fatal("recovered store reused an ID")
+	}
+}
+
+func TestWALTornTailStopsCleanly(t *testing.T) {
+	base := NewStore()
+	var logBuf bytes.Buffer
+	wal, err := NewWAL(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewStore()
+	for i := 0; i < 3; i++ {
+		tx := live.Begin()
+		tx.Insert("a", attrs("v", i))
+		d, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.Append(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the last record.
+	torn := logBuf.Bytes()[:logBuf.Len()-5]
+	applied, err := ReplayWAL(bytes.NewReader(torn), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("applied = %d, want 2 (torn tail dropped)", applied)
+	}
+	if base.Len() != 2 {
+		t.Fatalf("store has %d WMEs, want 2", base.Len())
+	}
+}
+
+func TestWALCorruptRecordDetected(t *testing.T) {
+	var logBuf bytes.Buffer
+	wal, err := NewWAL(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := NewStore()
+	tx := live.Begin()
+	tx.Insert("a", attrs("v", 1))
+	d, _ := tx.Commit()
+	if err := wal.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := live.Begin()
+	tx2.Insert("a", attrs("v", 2))
+	d2, _ := tx2.Commit()
+	if err := wal.Append(d2); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's body (after header+frame).
+	raw := logBuf.Bytes()
+	raw[len(walMagic)+12+4] ^= 0xff
+	s := NewStore()
+	if _, err := ReplayWAL(bytes.NewReader(raw), s); err == nil {
+		t.Fatal("mid-log corruption must be reported")
+	}
+	if _, err := ReplayWAL(strings.NewReader("XXXXXXXX"), s); err == nil {
+		t.Fatal("bad wal magic must error")
+	}
+}
+
+func TestWALRemoveOfAbsentFails(t *testing.T) {
+	live := NewStore()
+	w := live.Insert("a", attrs("v", 1))
+	var logBuf bytes.Buffer
+	wal, err := NewWAL(&logBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := live.Begin()
+	if err := tx.Remove(w.ID); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := tx.Commit()
+	if err := wal.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying against an empty store: the remove has no target.
+	empty := NewStore()
+	if _, err := ReplayWAL(bytes.NewReader(logBuf.Bytes()), empty); err == nil {
+		t.Fatal("replay against wrong base must error")
+	}
+}

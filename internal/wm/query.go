@@ -1,0 +1,207 @@
+package wm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Index is a secondary hash index over one attribute of one class,
+// maintained incrementally as the store changes. The paper situates
+// production systems over a database; equality-selective condition
+// elements resolve through indexes instead of class scans.
+type Index struct {
+	class string
+	attr  string
+
+	mu      sync.RWMutex
+	buckets map[Value][]*WME
+}
+
+// Class returns the indexed class.
+func (ix *Index) Class() string { return ix.class }
+
+// Attr returns the indexed attribute.
+func (ix *Index) Attr() string { return ix.attr }
+
+// Lookup returns the current WMEs of the class whose attribute equals
+// the value, ordered by ID. WMEs lacking the attribute are not indexed.
+func (ix *Index) Lookup(v Value) []*WME {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := append([]*WME(nil), ix.buckets[bucketKey(v)]...)
+	sortWMEs(out)
+	return out
+}
+
+// Len returns the number of indexed WMEs.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// bucketKey normalises numerically equal values (Int(3) vs Float(3))
+// to one bucket so Lookup agrees with Value.Equal.
+func bucketKey(v Value) Value {
+	if v.Kind() == KindFloat {
+		f := v.AsFloat()
+		if f == float64(int64(f)) {
+			return Int(int64(f))
+		}
+	}
+	return v
+}
+
+func (ix *Index) add(w *WME) {
+	if w.Class != ix.class || !w.HasAttr(ix.attr) {
+		return
+	}
+	k := bucketKey(w.Attr(ix.attr))
+	ix.mu.Lock()
+	ix.buckets[k] = append(ix.buckets[k], w)
+	ix.mu.Unlock()
+}
+
+func (ix *Index) remove(w *WME) {
+	if w.Class != ix.class || !w.HasAttr(ix.attr) {
+		return
+	}
+	k := bucketKey(w.Attr(ix.attr))
+	ix.mu.Lock()
+	b := ix.buckets[k]
+	for i, x := range b {
+		if x == w {
+			ix.buckets[k] = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(ix.buckets[k]) == 0 {
+		delete(ix.buckets, k)
+	}
+	ix.mu.Unlock()
+}
+
+// CreateIndex builds (or returns the existing) index on (class, attr),
+// back-filled from current contents and maintained on every change.
+func (s *Store) CreateIndex(class, attr string) (*Index, error) {
+	if class == "" || attr == "" {
+		return nil, fmt.Errorf("wm: index needs class and attribute")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := class + "^" + attr
+	if ix, ok := s.indexes[key]; ok {
+		return ix, nil
+	}
+	ix := &Index{class: class, attr: attr, buckets: make(map[Value][]*WME)}
+	for _, w := range s.byClass[class] {
+		ix.add(w)
+	}
+	if s.indexes == nil {
+		s.indexes = make(map[string]*Index)
+	}
+	s.indexes[key] = ix
+	return ix, nil
+}
+
+// Indexes returns the store's indexes, sorted by class then attribute.
+func (s *Store) Indexes() []*Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Index, 0, len(s.indexes))
+	for _, ix := range s.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].class != out[j].class {
+			return out[i].class < out[j].class
+		}
+		return out[i].attr < out[j].attr
+	})
+	return out
+}
+
+// notifyIndexesAdd/Remove are called with s.mu held; index maintenance
+// takes each index's own lock, so readers of one index never block the
+// whole store.
+func (s *Store) notifyIndexesAdd(w *WME) {
+	for _, ix := range s.indexes {
+		ix.add(w)
+	}
+}
+
+func (s *Store) notifyIndexesRemove(w *WME) {
+	for _, ix := range s.indexes {
+		ix.remove(w)
+	}
+}
+
+// Pred is a tuple predicate used by Select.
+type Pred func(*WME) bool
+
+// AttrEq returns a predicate testing attribute equality.
+func AttrEq(attr string, v Value) Pred {
+	return func(w *WME) bool { return w.HasAttr(attr) && w.Attr(attr).Equal(v) }
+}
+
+// AttrCmp returns a predicate testing an ordered comparison; cmp is
+// the sign Compare must return (-1 less, 0 equal, 1 greater).
+func AttrCmp(attr string, cmp int, v Value) Pred {
+	return func(w *WME) bool {
+		if !w.HasAttr(attr) {
+			return false
+		}
+		return w.Attr(attr).Compare(v) == cmp
+	}
+}
+
+// Select returns the class's WMEs satisfying every predicate, ordered
+// by ID, resolving through an equality index when one matches the
+// first predicate's attribute (pass the index explicitly via
+// SelectIndexed for guaranteed index use).
+func (s *Store) Select(class string, preds ...Pred) []*WME {
+	var out []*WME
+	for _, w := range s.ByClass(class) {
+		if allPreds(w, preds) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// SelectIndexed resolves an equality through the index, then applies
+// the remaining predicates.
+func SelectIndexed(ix *Index, v Value, preds ...Pred) []*WME {
+	var out []*WME
+	for _, w := range ix.Lookup(v) {
+		if allPreds(w, preds) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func allPreds(w *WME, preds []Pred) bool {
+	for _, p := range preds {
+		if !p(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns how many WMEs of the class satisfy the predicates.
+func (s *Store) Count(class string, preds ...Pred) int {
+	n := 0
+	for _, w := range s.ByClass(class) {
+		if allPreds(w, preds) {
+			n++
+		}
+	}
+	return n
+}

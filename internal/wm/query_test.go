@@ -1,0 +1,168 @@
+package wm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexMaintenance(t *testing.T) {
+	s := NewStore()
+	ix, err := s.CreateIndex("part", "status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Class() != "part" || ix.Attr() != "status" {
+		t.Fatal("accessors wrong")
+	}
+	p1 := s.Insert("part", attrs("id", 1, "status", "ready"))
+	p2 := s.Insert("part", attrs("id", 2, "status", "ready"))
+	s.Insert("part", attrs("id", 3, "status", "done"))
+	s.Insert("machine", attrs("status", "ready")) // other class: not indexed
+	s.Insert("part", attrs("id", 4))              // missing attr: not indexed
+
+	got := ix.Lookup(Sym("ready"))
+	if len(got) != 2 || got[0] != p1 || got[1] != p2 {
+		t.Fatalf("Lookup(ready) = %v", got)
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+
+	// Modify moves the WME between buckets.
+	_, p1b, err := s.Modify(p1.ID, attrs("status", "done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Lookup(Sym("ready")); len(got) != 1 || got[0] != p2 {
+		t.Fatalf("after modify: Lookup(ready) = %v", got)
+	}
+	if got := ix.Lookup(Sym("done")); len(got) != 2 {
+		t.Fatalf("after modify: Lookup(done) = %v", got)
+	}
+	_ = p1b
+
+	// Remove drops it.
+	s.Remove(p2.ID)
+	if got := ix.Lookup(Sym("ready")); len(got) != 0 {
+		t.Fatalf("after remove: Lookup(ready) = %v", got)
+	}
+}
+
+func TestIndexBackfillAndIdempotentCreate(t *testing.T) {
+	s := NewStore()
+	s.Insert("a", attrs("k", 1))
+	s.Insert("a", attrs("k", 1))
+	s.Insert("a", attrs("k", 2))
+	ix, err := s.CreateIndex("a", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Lookup(Int(1))) != 2 {
+		t.Fatal("backfill missed existing WMEs")
+	}
+	again, err := s.CreateIndex("a", "k")
+	if err != nil || again != ix {
+		t.Fatal("CreateIndex must be idempotent")
+	}
+	if _, err := s.CreateIndex("", "k"); err == nil {
+		t.Fatal("empty class must error")
+	}
+	if got := s.Indexes(); len(got) != 1 || got[0] != ix {
+		t.Fatalf("Indexes = %v", got)
+	}
+}
+
+func TestIndexNumericBucketUnification(t *testing.T) {
+	s := NewStore()
+	ix, _ := s.CreateIndex("a", "v")
+	s.Insert("a", attrs("v", Int(3)))
+	s.Insert("a", attrs("v", Float(3.0)))
+	if got := ix.Lookup(Int(3)); len(got) != 2 {
+		t.Fatalf("Int(3) bucket = %d, want 2 (3 and 3.0 are equal)", len(got))
+	}
+	if got := ix.Lookup(Float(3.0)); len(got) != 2 {
+		t.Fatalf("Float(3) bucket = %d, want 2", len(got))
+	}
+	s.Insert("a", attrs("v", Float(3.5)))
+	if got := ix.Lookup(Float(3.5)); len(got) != 1 {
+		t.Fatalf("Float(3.5) bucket = %d", len(got))
+	}
+}
+
+func TestIndexAgreesWithScan(t *testing.T) {
+	// Property: after arbitrary insert/modify/remove churn, Lookup(v)
+	// equals the scan of WMEs with that value.
+	s := NewStore()
+	ix, _ := s.CreateIndex("c", "v")
+	var live []*WME
+	step := 0
+	f := func(action uint8, val uint8) bool {
+		step++
+		v := int(val % 5)
+		switch action % 3 {
+		case 0:
+			live = append(live, s.Insert("c", attrs("v", v, "step", step)))
+		case 1:
+			if len(live) > 0 {
+				w := live[0]
+				live = live[1:]
+				s.Remove(w.ID)
+			}
+		case 2:
+			if len(live) > 0 {
+				_, n, err := s.Modify(live[0].ID, attrs("v", v))
+				if err != nil {
+					return false
+				}
+				live[0] = n
+			}
+		}
+		for want := 0; want < 5; want++ {
+			scan := s.Select("c", AttrEq("v", Int(int64(want))))
+			idx := ix.Lookup(Int(int64(want)))
+			if len(scan) != len(idx) {
+				return false
+			}
+			for i := range scan {
+				if scan[i] != idx[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectAndCount(t *testing.T) {
+	s := NewStore()
+	for i := 1; i <= 5; i++ {
+		s.Insert("job", attrs("n", i, "state", "open"))
+	}
+	s.Insert("job", attrs("n", 6, "state", "closed"))
+
+	got := s.Select("job", AttrEq("state", Sym("open")), AttrCmp("n", 1, Int(3)))
+	if len(got) != 2 {
+		t.Fatalf("Select = %v, want n in {4,5}", got)
+	}
+	if n := s.Count("job", AttrEq("state", Sym("open"))); n != 5 {
+		t.Fatalf("Count = %d", n)
+	}
+	if n := s.Count("job", AttrCmp("missing", 0, Int(1))); n != 0 {
+		t.Fatal("missing attribute must not match")
+	}
+}
+
+func TestSelectIndexed(t *testing.T) {
+	s := NewStore()
+	ix, _ := s.CreateIndex("job", "state")
+	for i := 1; i <= 4; i++ {
+		s.Insert("job", attrs("n", i, "state", "open"))
+	}
+	got := SelectIndexed(ix, Sym("open"), AttrCmp("n", -1, Int(3)))
+	if len(got) != 2 {
+		t.Fatalf("SelectIndexed = %v, want n in {1,2}", got)
+	}
+}

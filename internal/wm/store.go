@@ -1,0 +1,236 @@
+package wm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the shared working memory: an indexed, concurrency-safe
+// tuple store. All mutation goes through Deltas (directly via Apply,
+// or staged in a Txn), so the match phase can be driven incrementally
+// from the exact set of changes each production commit makes.
+type Store struct {
+	mu      sync.RWMutex
+	byID    map[int64]*WME
+	byClass map[string]map[int64]*WME
+	indexes map[string]*Index
+	nextID  int64
+	clock   uint64
+}
+
+// NewStore returns an empty working memory.
+func NewStore() *Store {
+	return &Store{
+		byID:    make(map[int64]*WME),
+		byClass: make(map[string]map[int64]*WME),
+	}
+}
+
+// Delta is an atomic set of working-memory changes: the removed WMEs
+// (prior versions) and the added WMEs (new versions). A modify appears
+// as a remove of the old version plus an add carrying the same ID.
+type Delta struct {
+	Removes []*WME
+	Adds    []*WME
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool { return len(d.Removes) == 0 && len(d.Adds) == 0 }
+
+// Invert returns the delta that undoes d.
+func (d *Delta) Invert() *Delta {
+	inv := &Delta{Adds: make([]*WME, len(d.Removes)), Removes: make([]*WME, len(d.Adds))}
+	copy(inv.Adds, d.Removes)
+	copy(inv.Removes, d.Adds)
+	return inv
+}
+
+// allocID reserves a fresh WME identity.
+func (s *Store) allocID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
+// Insert creates a WME with the given class and attributes, assigns it
+// a fresh ID and time tag, and adds it to the store.
+func (s *Store) Insert(class string, attrs map[string]Value) *WME {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.clock++
+	w := &WME{ID: s.nextID, TimeTag: s.clock, Class: class, attrs: copyAttrs(attrs)}
+	s.addLocked(w)
+	return w
+}
+
+// Get returns the current version of the WME with the given ID.
+func (s *Store) Get(id int64) (*WME, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	w, ok := s.byID[id]
+	return w, ok
+}
+
+// Remove deletes the WME with the given ID and returns the removed
+// version, or false if it is not present.
+func (s *Store) Remove(id int64) (*WME, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	s.removeLocked(w)
+	return w, true
+}
+
+// Modify replaces the attributes of the WME with the given ID,
+// returning the old and new versions. The new version keeps the ID but
+// receives a fresh time tag. Updates with nil values delete attributes.
+func (s *Store) Modify(id int64, updates map[string]Value) (old, new_ *WME, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w, ok := s.byID[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("wm: modify: no WME with id %d", id)
+	}
+	s.removeLocked(w)
+	n := w.WithAttrs(updates)
+	s.clock++
+	n.TimeTag = s.clock
+	s.addLocked(n)
+	return w, n, nil
+}
+
+// Apply applies a delta atomically: all removes, then all adds. Adds
+// whose ID is zero are assigned fresh IDs; all adds receive fresh time
+// tags. It returns the applied delta with final IDs and time tags
+// filled in. Removing an absent WME is an error and nothing is applied.
+func (s *Store) Apply(d *Delta) (*Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range d.Removes {
+		cur, ok := s.byID[r.ID]
+		if !ok {
+			return nil, fmt.Errorf("wm: apply: remove of absent WME %d", r.ID)
+		}
+		_ = cur
+	}
+	applied := &Delta{}
+	for _, r := range d.Removes {
+		cur := s.byID[r.ID]
+		s.removeLocked(cur)
+		applied.Removes = append(applied.Removes, cur)
+	}
+	for _, a := range d.Adds {
+		w := &WME{ID: a.ID, Class: a.Class, attrs: copyAttrs(a.attrs)}
+		if w.ID == 0 {
+			s.nextID++
+			w.ID = s.nextID
+		}
+		s.clock++
+		w.TimeTag = s.clock
+		s.addLocked(w)
+		applied.Adds = append(applied.Adds, w)
+	}
+	return applied, nil
+}
+
+func (s *Store) addLocked(w *WME) {
+	s.byID[w.ID] = w
+	cls := s.byClass[w.Class]
+	if cls == nil {
+		cls = make(map[int64]*WME)
+		s.byClass[w.Class] = cls
+	}
+	cls[w.ID] = w
+	s.notifyIndexesAdd(w)
+}
+
+func (s *Store) removeLocked(w *WME) {
+	delete(s.byID, w.ID)
+	if cls := s.byClass[w.Class]; cls != nil {
+		delete(cls, w.ID)
+		if len(cls) == 0 {
+			delete(s.byClass, w.Class)
+		}
+	}
+	s.notifyIndexesRemove(w)
+}
+
+// Len reports the number of WMEs in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// ByClass returns the current WMEs of a class, ordered by ID.
+func (s *Store) ByClass(class string) []*WME {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*WME, 0, len(s.byClass[class]))
+	for _, w := range s.byClass[class] {
+		out = append(out, w)
+	}
+	sortWMEs(out)
+	return out
+}
+
+// Classes returns the names of the non-empty classes in sorted order.
+func (s *Store) Classes() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byClass))
+	for c := range s.byClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns every WME in the store, ordered by ID.
+func (s *Store) All() []*WME {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*WME, 0, len(s.byID))
+	for _, w := range s.byID {
+		out = append(out, w)
+	}
+	sortWMEs(out)
+	return out
+}
+
+// Clone returns a deep copy of the store (WMEs themselves are shared;
+// they are immutable).
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c := NewStore()
+	c.nextID = s.nextID
+	c.clock = s.clock
+	for id, w := range s.byID {
+		c.byID[id] = w
+		cls := c.byClass[w.Class]
+		if cls == nil {
+			cls = make(map[int64]*WME)
+			c.byClass[w.Class] = cls
+		}
+		cls[id] = w
+	}
+	return c
+}
+
+// Clock returns the current recency counter.
+func (s *Store) Clock() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.clock
+}
+
+func sortWMEs(ws []*WME) {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+}

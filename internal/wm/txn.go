@@ -1,0 +1,153 @@
+package wm
+
+import "fmt"
+
+// Txn stages the RHS effects of one production firing. Reads see the
+// transaction's own staged changes layered over the underlying store
+// (read-your-writes); nothing touches the shared store until Commit,
+// which applies all changes as one atomic Delta — the paper's
+// requirement that "the WM content is atomically updated only when a
+// production reaches its commit point" (Section 4.2).
+//
+// A Txn is used by a single goroutine; the store it commits into is
+// safe for concurrent use.
+type Txn struct {
+	store    *Store
+	staged   map[int64]*WME // staged inserts and modified versions
+	removed  map[int64]*WME // prior versions shadowed by remove/modify
+	order    []int64        // insertion order of staged adds, for stable deltas
+	done     bool
+	readOnly bool
+}
+
+// Begin starts a transaction over the store.
+func (s *Store) Begin() *Txn {
+	return &Txn{
+		store:   s,
+		staged:  make(map[int64]*WME),
+		removed: make(map[int64]*WME),
+	}
+}
+
+// Get returns the WME with the given ID as seen by this transaction.
+func (t *Txn) Get(id int64) (*WME, bool) {
+	if w, ok := t.staged[id]; ok {
+		return w, true
+	}
+	if _, gone := t.removed[id]; gone {
+		return nil, false
+	}
+	return t.store.Get(id)
+}
+
+// ByClass returns the WMEs of a class as seen by this transaction,
+// ordered by ID.
+func (t *Txn) ByClass(class string) []*WME {
+	seen := make(map[int64]bool)
+	var out []*WME
+	for _, w := range t.staged {
+		if w.Class == class {
+			out = append(out, w)
+			seen[w.ID] = true
+		}
+	}
+	for _, w := range t.store.ByClass(class) {
+		if seen[w.ID] {
+			continue
+		}
+		if _, gone := t.removed[w.ID]; gone {
+			continue
+		}
+		if _, shadowed := t.staged[w.ID]; shadowed {
+			continue
+		}
+		out = append(out, w)
+	}
+	sortWMEs(out)
+	return out
+}
+
+// Insert stages a new WME. The returned WME has a real (reserved) ID
+// but is not visible outside the transaction until commit.
+func (t *Txn) Insert(class string, attrs map[string]Value) *WME {
+	id := t.store.allocID()
+	w := &WME{ID: id, Class: class, attrs: copyAttrs(attrs)}
+	t.staged[id] = w
+	t.order = append(t.order, id)
+	return w
+}
+
+// Remove stages deletion of the WME with the given ID.
+func (t *Txn) Remove(id int64) error {
+	if w, ok := t.staged[id]; ok {
+		delete(t.staged, id)
+		// If this staged entry shadowed a store version, keep that
+		// version in removed so the delta still deletes it.
+		_ = w
+		if _, wasStoreWME := t.removed[id]; wasStoreWME {
+			return nil
+		}
+		// A pure staged insert: drop it from the add order too.
+		for i, oid := range t.order {
+			if oid == id {
+				t.order = append(t.order[:i], t.order[i+1:]...)
+				break
+			}
+		}
+		return nil
+	}
+	w, ok := t.store.Get(id)
+	if !ok {
+		return fmt.Errorf("wm: txn remove: no WME with id %d", id)
+	}
+	t.removed[id] = w
+	return nil
+}
+
+// Modify stages an attribute update of the WME with the given ID and
+// returns the staged new version. Nil values delete attributes.
+func (t *Txn) Modify(id int64, updates map[string]Value) (*WME, error) {
+	cur, ok := t.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("wm: txn modify: no WME with id %d", id)
+	}
+	n := cur.WithAttrs(updates)
+	if _, isStaged := t.staged[id]; !isStaged {
+		t.removed[id] = cur
+		t.order = append(t.order, id)
+	}
+	t.staged[id] = n
+	return n, nil
+}
+
+// Delta returns the pending changes as a Delta without committing.
+func (t *Txn) Delta() *Delta {
+	d := &Delta{}
+	for _, w := range t.removed {
+		d.Removes = append(d.Removes, w)
+	}
+	sortWMEs(d.Removes)
+	for _, id := range t.order {
+		if w, ok := t.staged[id]; ok {
+			d.Adds = append(d.Adds, w)
+		}
+	}
+	return d
+}
+
+// Commit applies the staged changes to the store atomically and
+// returns the applied delta (with final time tags). Committing an
+// already-finished transaction is an error.
+func (t *Txn) Commit() (*Delta, error) {
+	if t.done {
+		return nil, fmt.Errorf("wm: commit of finished transaction")
+	}
+	t.done = true
+	return t.store.Apply(t.Delta())
+}
+
+// Abort discards the staged changes. It is safe to call multiple times.
+func (t *Txn) Abort() { t.done = true }
+
+// Pending reports the number of staged operations.
+func (t *Txn) Pending() int { return len(t.staged) + len(t.removed) }

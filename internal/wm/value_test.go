@@ -1,0 +1,109 @@
+package wm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hi"), KindString, `"hi"`},
+		{Sym("ready"), KindSymbol, "ready"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Nil(), KindNil, "nil"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueEqualNumericCrossKind(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	if Int(3).Equal(Str("3")) {
+		t.Error("Int(3) should not equal Str(\"3\")")
+	}
+	if Str("a").Equal(Sym("a")) {
+		t.Error("string and symbol with same text must differ")
+	}
+	if !Nil().Equal(Nil()) {
+		t.Error("nil equals nil")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(2.5), Int(2), 1},
+		{Str("a"), Str("b"), -1},
+		{Sym("b"), Sym("a"), 1},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareTotalOrderProperties(t *testing.T) {
+	// Compare must be antisymmetric and consistent with Equal for
+	// same-kind values.
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va) &&
+			(va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		va, vb := Str(a), Str(b)
+		return va.Compare(vb) == -vb.Compare(va) &&
+			(va.Compare(vb) == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "int" || Kind(200).String() == "" {
+		t.Error("Kind.String misbehaves")
+	}
+}
+
+func TestBoolAndNumericAccessors(t *testing.T) {
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("AsBool wrong")
+	}
+	if Int(7).AsFloat() != 7.0 {
+		t.Error("AsFloat on int wrong")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Error("AsFloat on float wrong")
+	}
+	if !Int(1).Numeric() || !Float(1).Numeric() || Str("x").Numeric() {
+		t.Error("Numeric wrong")
+	}
+}

@@ -1,0 +1,356 @@
+// Package pdps is a parallel database production system: a Go
+// reproduction of "Parallelism in Database Production Systems"
+// (Srivastava, Hwang, Tan — ICDE 1990). It provides:
+//
+//   - an OPS5-style rule language (Parse) and programmatic rule IR;
+//   - incremental matchers (Rete, TREAT) over a transactional working
+//     memory;
+//   - three interpreters: the single execution thread mechanism, the
+//     dynamic multiple-thread mechanism (goroutine workers firing
+//     productions as transactions under either two-phase locking or
+//     the paper's improved Rc/Ra/Wa scheme, with commit-time victim
+//     aborts), and the static multiple-thread mechanism based on
+//     interference analysis;
+//   - the paper's formal execution-semantics model (abstract systems,
+//     execution graphs, ES_single enumeration) and consistency
+//     checkers implementing Definition 3.2;
+//   - the Section 5 multiprocessor simulator that reproduces the
+//     paper's speed-up figures.
+//
+// Quick start:
+//
+//	prog := pdps.MustParse(`
+//	  (p hello (greeting ^to <x>) --> (remove 1))
+//	  (wme greeting ^to world)`)
+//	eng, _ := pdps.NewSingleEngine(prog, pdps.Options{})
+//	res, _ := eng.Run()
+package pdps
+
+import (
+	"pdps/internal/core"
+	"pdps/internal/cr"
+	"pdps/internal/engine"
+	"pdps/internal/lang"
+	"pdps/internal/lock"
+	"pdps/internal/match"
+	"pdps/internal/rete"
+	"pdps/internal/sim"
+	"pdps/internal/trace"
+	"pdps/internal/wm"
+	"pdps/internal/workload"
+)
+
+// Values and working memory.
+type (
+	// Value is a typed working-memory scalar.
+	Value = wm.Value
+	// WME is a working memory element (tuple).
+	WME = wm.WME
+	// Store is the shared, transactional working memory.
+	Store = wm.Store
+	// WAL is a write-ahead log of committed working-memory deltas.
+	WAL = wm.WAL
+	// Delta is an atomic set of working-memory changes.
+	Delta = wm.Delta
+)
+
+// Persistence: snapshots, write-ahead logging, and a file-backed
+// durable store with checkpointing.
+var (
+	// NewWAL starts a write-ahead log on a writer.
+	NewWAL = wm.NewWAL
+	// ReadSnapshot reconstructs a store from a snapshot stream.
+	ReadSnapshot = wm.ReadSnapshot
+	// ReplayWAL applies a log's deltas to a store.
+	ReplayWAL = wm.ReplayWAL
+	// OpenDurable opens or initialises a file-backed store directory.
+	OpenDurable = wm.OpenDurable
+)
+
+// Durable is a file-backed working memory (snapshot + log directory).
+type Durable = wm.Durable
+
+// Value constructors.
+var (
+	// Int makes an integer value.
+	Int = wm.Int
+	// Float makes a floating-point value.
+	Float = wm.Float
+	// Str makes a string value.
+	Str = wm.Str
+	// Sym makes a symbol value.
+	Sym = wm.Sym
+	// Bool makes a boolean value.
+	Bool = wm.Bool
+)
+
+// Rule IR (for building programs programmatically instead of Parse).
+type (
+	// Rule is a compiled production.
+	Rule = match.Rule
+	// Condition is one condition element of a rule's LHS.
+	Condition = match.Condition
+	// AttrTest constrains one attribute within a condition element.
+	AttrTest = match.AttrTest
+	// Action is one RHS operation.
+	Action = match.Action
+	// AttrAssign sets an attribute in a make/modify action.
+	AttrAssign = match.AttrAssign
+	// Expr is an RHS expression.
+	Expr = match.Expr
+	// ConstExpr is a literal expression.
+	ConstExpr = match.ConstExpr
+	// VarExpr references an LHS variable.
+	VarExpr = match.VarExpr
+	// BinExpr applies arithmetic to two subexpressions.
+	BinExpr = match.BinExpr
+	// Instantiation is a rule plus the WMEs satisfying its LHS.
+	Instantiation = match.Instantiation
+)
+
+// Comparison operators for AttrTest.
+const (
+	OpEq = match.OpEq
+	OpNe = match.OpNe
+	OpLt = match.OpLt
+	OpLe = match.OpLe
+	OpGt = match.OpGt
+	OpGe = match.OpGe
+)
+
+// Action kinds.
+const (
+	ActMake   = match.ActMake
+	ActModify = match.ActModify
+	ActRemove = match.ActRemove
+	ActHalt   = match.ActHalt
+)
+
+// Arithmetic operators for BinExpr.
+const (
+	ArithAdd = match.ArithAdd
+	ArithSub = match.ArithSub
+	ArithMul = match.ArithMul
+	ArithDiv = match.ArithDiv
+	ArithMod = match.ArithMod
+)
+
+// Programs and engines.
+type (
+	// Program is a rule set plus initial working memory.
+	Program = engine.Program
+	// InitialWME declares one initial tuple.
+	InitialWME = engine.InitialWME
+	// Options configures an engine.
+	Options = engine.Options
+	// Result summarises a run.
+	Result = engine.Result
+	// AbortPolicy selects Rc-victim handling in the dynamic engine.
+	AbortPolicy = engine.AbortPolicy
+	// Strategy is a conflict-resolution strategy.
+	Strategy = cr.Strategy
+	// Scheme selects the lock compatibility matrix.
+	Scheme = lock.Scheme
+	// TraceLog is the event log of a run.
+	TraceLog = trace.Log
+	// TraceEvent is one logged event.
+	TraceEvent = trace.Event
+)
+
+// Locking schemes of the dynamic engine.
+const (
+	// Scheme2PL is conventional two-phase locking (Section 4.2).
+	Scheme2PL = lock.Scheme2PL
+	// SchemeRcRaWa is the paper's improved scheme (Section 4.3).
+	SchemeRcRaWa = lock.SchemeRcRaWa
+)
+
+// LockMode is one of the three lock modes of Section 4.3.
+type LockMode = lock.Mode
+
+// Lock modes.
+const (
+	// Rc is the condition-evaluation read lock.
+	Rc = lock.Rc
+	// Ra is the action-execution read lock.
+	Ra = lock.Ra
+	// Wa is the action-execution write lock.
+	Wa = lock.Wa
+)
+
+// LockCompatible evaluates the scheme's compatibility matrix
+// (Table 4.1 for SchemeRcRaWa).
+var LockCompatible = lock.Compatible
+
+// LockStats carries the lock manager's counters; the dynamic engine
+// exposes them through its LockStats method.
+type LockStats = lock.Stats
+
+// DeadlockPolicy selects the dynamic engine's deadlock handling.
+type DeadlockPolicy = lock.DeadlockPolicy
+
+// Deadlock policies.
+const (
+	// DeadlockDetect aborts the youngest transaction of a waits-for cycle.
+	DeadlockDetect = lock.DeadlockDetect
+	// DeadlockWoundWait is the preemptive prevention scheme.
+	DeadlockWoundWait = lock.DeadlockWoundWait
+	// DeadlockWaitDie is the non-preemptive prevention scheme.
+	DeadlockWaitDie = lock.DeadlockWaitDie
+)
+
+// Abort policies (Section 4.3 rule (ii) and its noted alternative).
+const (
+	AbortAlways     = engine.AbortAlways
+	AbortReevaluate = engine.AbortReevaluate
+)
+
+// ErrInconsistent reports a semantic-consistency violation.
+var ErrInconsistent = engine.ErrInconsistent
+
+// Engine runs a production-system program.
+type Engine interface {
+	// Run executes the program to quiescence, halt, error or limit.
+	Run() (Result, error)
+	// Store returns the engine's working memory.
+	Store() *Store
+}
+
+// NewSingleEngine builds the single execution thread interpreter.
+func NewSingleEngine(p Program, opts Options) (Engine, error) {
+	return engine.NewSingle(p, opts)
+}
+
+// NewParallelEngine builds the dynamic multiple-thread interpreter
+// using the given locking scheme.
+func NewParallelEngine(p Program, scheme Scheme, opts Options) (Engine, error) {
+	return engine.NewParallel(p, scheme, opts)
+}
+
+// NewStaticEngine builds the static-partition multiple-thread
+// interpreter (pre-execution interference analysis, Theorem 1).
+func NewStaticEngine(p Program, opts Options) (Engine, error) {
+	return engine.NewStatic(p, opts)
+}
+
+// Session is an interactive single-thread interpreter: assert and
+// retract tuples between firings, inspect the conflict set, and step
+// the recognize-act cycle (the substrate of cmd/psshell).
+type Session struct {
+	*engine.Session
+}
+
+// NewSession builds an interactive session over the program.
+func NewSession(p Program, opts Options) (*Session, error) {
+	s, err := engine.NewSession(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Session: s}, nil
+}
+
+// Assert parses a tuple literal "(class ^attr value ...)" and adds it
+// to working memory.
+func (s *Session) Assert(src string) error {
+	w, err := lang.ParseWME(src)
+	if err != nil {
+		return err
+	}
+	s.AssertWME(w.Class, w.Attrs)
+	return nil
+}
+
+// NewStrategy returns the named conflict-resolution strategy: "lex",
+// "mea", "fifo", "priority" or "random".
+var NewStrategy = cr.New
+
+// NewRandomStrategy returns a seeded random strategy (reproducible).
+var NewRandomStrategy = cr.NewRandom
+
+// Parse reads a program in the rule language.
+var Parse = lang.Parse
+
+// MustParse parses or panics.
+var MustParse = lang.MustParse
+
+// Format renders a program in the rule language (round-trips).
+var Format = lang.Format
+
+// CheckTrace verifies a commit sequence against the single-thread
+// execution semantics (Definition 3.2).
+var CheckTrace = engine.CheckTrace
+
+// Interferes reports the static interference relation between rules
+// (read-write or write-write overlap, Section 4.1).
+var Interferes = match.Interferes
+
+// RWSet is a rule's static read/write set over (class, attribute)
+// columns.
+type RWSet = match.RWSet
+
+// RuleRWSet computes a rule's static read/write sets (Section 4.1).
+var RuleRWSet = match.RuleRWSet
+
+// ReteNetwork is a compiled Rete match network (topology and Dot
+// rendering are exposed for analysis tooling).
+type ReteNetwork = rete.Network
+
+// CompileRete compiles the program's rules into a Rete network and
+// seeds it with the initial working memory.
+func CompileRete(p Program) (*ReteNetwork, error) {
+	n := rete.New()
+	for _, r := range p.Rules {
+		if err := n.AddRule(r); err != nil {
+			return nil, err
+		}
+	}
+	s := wm.NewStore()
+	for _, iw := range p.WMEs {
+		n.Insert(s.Insert(iw.Class, iw.Attrs))
+	}
+	return n, nil
+}
+
+// Abstract model (Section 3) and multiprocessor simulator (Section 5).
+type (
+	// System is an abstract production system over add/delete sets.
+	System = core.System
+	// AbstractProduction is one abstract production.
+	AbstractProduction = core.Production
+	// SimConfig parameterises a simulator run.
+	SimConfig = sim.Config
+	// SimResult is the simulator's outcome (σ, timings, speedup).
+	SimResult = sim.Result
+)
+
+// NewSystem builds an abstract system.
+var NewSystem = core.NewSystem
+
+// Simulate runs the Section 5 multiprocessor model.
+var Simulate = sim.Run
+
+// Paper fixtures and workload generators.
+var (
+	// Fig32System is the Section 3.3 execution-graph example.
+	Fig32System = workload.Fig32System
+	// Fig51System is the Section 5 base case.
+	Fig51System = workload.Fig51System
+	// Fig52System is the degree-of-conflict variation.
+	Fig52System = workload.Fig52System
+	// Fig53System is the execution-time variation.
+	Fig53System = workload.Fig53System
+	// Fig54Np is the processor count of the Figure 5.4 variation.
+	Fig54Np = workload.Fig54Np
+	// Pipeline generates the embarrassingly parallel parts workload.
+	Pipeline = workload.Pipeline
+	// SharedCounter generates the high-conflict tally workload.
+	SharedCounter = workload.SharedCounter
+	// Guarded generates a workload with negated conditions.
+	Guarded = workload.Guarded
+	// RandomProgram generates random terminating concrete programs.
+	RandomProgram = workload.RandomProgram
+	// RandomAbstract generates random terminating abstract systems.
+	RandomAbstract = workload.RandomAbstract
+	// ConflictChain generates abstract systems with tunable conflict.
+	ConflictChain = workload.ConflictChain
+)

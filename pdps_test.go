@@ -1,0 +1,167 @@
+package pdps_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdps"
+)
+
+const quickProgram = `
+(p advance
+  (part ^stage 0)
+  -->
+  (modify 1 ^stage 1))
+(p finish
+  (part ^stage 1)
+  -->
+  (remove 1))
+(wme part ^stage 0 ^id 1)
+(wme part ^stage 0 ^id 2)
+`
+
+func TestPublicAPISingle(t *testing.T) {
+	prog := pdps.MustParse(quickProgram)
+	eng, err := pdps.NewSingleEngine(prog, pdps.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 4 {
+		t.Fatalf("firings = %d, want 4", res.Firings)
+	}
+	if eng.Store().Len() != 0 {
+		t.Fatal("working memory not drained")
+	}
+	if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIParallelBothSchemes(t *testing.T) {
+	for _, scheme := range []pdps.Scheme{pdps.Scheme2PL, pdps.SchemeRcRaWa} {
+		prog := pdps.Pipeline(8, 3)
+		eng, err := pdps.NewParallelEngine(prog, scheme, pdps.Options{Np: 4, Verify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.Firings != 24 {
+			t.Fatalf("%v: firings = %d, want 24", scheme, res.Firings)
+		}
+		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}
+
+func TestPublicAPIStatic(t *testing.T) {
+	prog := pdps.Guarded(8)
+	eng, err := pdps.NewStaticEngine(prog, pdps.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 jobs: lanes 1 and 3 held (4 jobs wait for clears), all ship
+	// eventually; plus 2 clear firings.
+	if res.Firings != 10 {
+		t.Fatalf("firings = %d, want 10", res.Firings)
+	}
+	if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISimulatorFigures(t *testing.T) {
+	cases := []struct {
+		name    string
+		sys     *pdps.System
+		np      int
+		tSingle int
+		tMulti  int
+	}{
+		{"fig5.1", pdps.Fig51System(), 4, 9, 4},
+		{"fig5.2", pdps.Fig52System(), 4, 5, 3},
+		{"fig5.3", pdps.Fig53System(), 4, 10, 4},
+		{"fig5.4", pdps.Fig51System(), pdps.Fig54Np(), 9, 6},
+	}
+	for _, c := range cases {
+		res, err := pdps.Simulate(c.sys, pdps.SimConfig{Np: c.np})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TSingle != c.tSingle || res.TMulti != c.tMulti {
+			t.Errorf("%s: T_single/T_multi = %d/%d, want %d/%d",
+				c.name, res.TSingle, res.TMulti, c.tSingle, c.tMulti)
+		}
+	}
+}
+
+func TestPublicAPIAbstractModel(t *testing.T) {
+	sys := pdps.Fig32System()
+	seqs := sys.CompletedSequences(10)
+	if len(seqs) == 0 {
+		t.Fatal("no completed sequences")
+	}
+	for _, seq := range seqs {
+		if !sys.IsValidSequence(seq) {
+			t.Fatalf("invalid enumerated sequence %v", seq)
+		}
+	}
+	if !strings.Contains(sys.BuildGraph(10).Dot(), "digraph") {
+		t.Fatal("Dot rendering broken")
+	}
+}
+
+func TestPublicAPIFormatRoundTrip(t *testing.T) {
+	prog := pdps.MustParse(quickProgram)
+	text := pdps.Format(prog)
+	again, err := pdps.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Rules) != 2 || len(again.WMEs) != 2 {
+		t.Fatal("round-trip lost declarations")
+	}
+}
+
+func TestPublicAPIStrategies(t *testing.T) {
+	for _, name := range []string{"lex", "mea", "fifo", "priority", "random"} {
+		st, err := pdps.NewStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := pdps.Pipeline(3, 2)
+		eng, err := pdps.NewSingleEngine(prog, pdps.Options{Strategy: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Firings != 6 {
+			t.Fatalf("%s: firings = %d, want 6", name, res.Firings)
+		}
+	}
+}
+
+func TestPublicAPIInterferes(t *testing.T) {
+	prog := pdps.SharedCounter(1, 2)
+	if !pdps.Interferes(prog.Rules[0], prog.Rules[1]) {
+		t.Fatal("tally rules must interfere")
+	}
+	pipe := pdps.Pipeline(1, 3)
+	if !pdps.Interferes(pipe.Rules[0], pipe.Rules[1]) {
+		t.Fatal("same-class pipeline rules interfere (class-level writes)")
+	}
+}
