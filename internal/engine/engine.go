@@ -82,6 +82,9 @@ type Options struct {
 	// Deadlock selects the lock manager's deadlock policy for the
 	// dynamic engine: detection (default), wound-wait or wait-die.
 	Deadlock lock.DeadlockPolicy
+	// LockShards sets the dynamic engine's lock-table shard count;
+	// values below 1 mean lock.DefaultShards.
+	LockShards int
 	// Verify recomputes the rule's matches from scratch against the
 	// shared store at every commit and fails the run if the committing
 	// instantiation is not active — a runtime check of the semantic

@@ -1,8 +1,9 @@
 package engine
 
 import (
-	"fmt"
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdps/internal/lock"
@@ -13,320 +14,485 @@ import (
 )
 
 // Parallel is the multiple execution thread mechanism with the dynamic
-// (locking) approach of Sections 4.2–4.3. Every active instantiation
-// is dispatched to a goroutine worker that fires it as a transaction:
-// Rc locks for the condition, Ra/Wa locks at RHS start, atomic commit
-// of the working-memory delta, incremental re-match, and — under the
-// improved scheme — commit-time abort of conflicting Rc holders.
+// (locking) approach of Sections 4.2–4.3, organised as a commit
+// pipeline. A pool of Np workers fires instantiations as transactions:
+// Rc locks for the condition, Ra/Wa locks at RHS start, effects staged
+// into a private transaction. Executed firings are then submitted to a
+// single committer — the run loop — which owns the matcher and the
+// conflict set outright: it validates each submission, applies the
+// delta atomically, re-matches incrementally, aborts conflicting Rc
+// holders (rule (ii)), and feeds newly activated instantiations back
+// to the workers. Activation is event-driven via the conflict set's
+// change journal, so a commit costs O(|delta|) dispatch work rather
+// than a rescan of the whole conflict set.
 type Parallel struct {
-	opts   Options
+	rt     *runtime
 	scheme lock.Scheme
+	lm     *lock.Manager
 
-	store    *wm.Store
-	lm       *lock.Manager
-	mu       sync.Mutex // guards the fields below plus matcher and dispatch state
-	cond     *sync.Cond
-	matcher  match.Matcher
-	fired    map[string]bool
-	inflight map[string]bool
-	txnInst  map[lock.TxnID]string
-	// retries counts aborts per instantiation key; re-dispatched
-	// firings back off proportionally so two productions that
-	// repeatedly deadlock against each other break lockstep.
-	retries map[string]int
-	running int
-	halted  bool
-	limit   bool
-	runErr  error
+	// tracked reports that the matcher journals conflict-set changes;
+	// without it the committer falls back to full rescans.
+	tracked bool
 
-	firings int
-	aborts  int
-	skips   int
-	rounds  int
+	// stopping is the workers' fast-path view of rt.stopping().
+	stopping atomic.Bool
+
+	// active mirrors the unfired conflict-set keys for worker-side
+	// staleness checks. Written only by the committer.
+	activeMu sync.RWMutex
+	active   map[string]bool
+
+	// txnInst maps live transactions to their instantiation keys, for
+	// the AbortReevaluate victim check.
+	txnInst sync.Map // lock.TxnID → string
+
+	// Committer-owned dispatch state: instantiations awaiting a worker,
+	// keys with an outstanding dispatch lifecycle, and per-key abort
+	// counts driving the re-dispatch backoff. Retry counts are cleared
+	// when the key commits or leaves the conflict set, so neither map
+	// outgrows the live working set.
+	pending    []*match.Instantiation
+	dispatched map[string]bool
+	retries    map[string]int
 
 	// latency records fire-to-commit durations of successful firings.
 	latency stats.Histogram
+	// dispatchQ and submitQ gauge the two pipeline queues: work
+	// awaiting a worker and results awaiting the committer.
+	dispatchQ stats.Gauge
+	submitQ   stats.Gauge
 
-	sem chan struct{}
-	wg  sync.WaitGroup
+	work   chan *match.Instantiation
+	events chan pevent
+	wg     sync.WaitGroup
+}
+
+// pevKind discriminates worker→committer messages.
+type pevKind uint8
+
+const (
+	// evCommit carries an executed firing's staged effects; the worker
+	// blocks on reply until the committer has resolved it (the lock
+	// transaction must outlive the commit so RcVictims sees its locks).
+	evCommit pevKind = iota
+	// evAborted reports a worker-side abort (lock denial, victim kill
+	// or action error); the transaction is already ended.
+	evAborted
+	// evSkipped reports a stale instantiation dropped before execution.
+	evSkipped
+	// evRequeue is a backoff timer expiry: the instantiation may be
+	// dispatched again.
+	evRequeue
+)
+
+// pevent is one message on the committer's event queue.
+type pevent struct {
+	kind  pevKind
+	in    *match.Instantiation
+	txn   lock.TxnID
+	wtx   *wm.Txn
+	halt  bool
+	start time.Time
+	err   error
+	reply chan struct{}
 }
 
 // FiringLatency returns the histogram of fire-to-commit latencies.
 func (e *Parallel) FiringLatency() *stats.Histogram { return &e.latency }
 
+// PipelineStats reports the commit pipeline's queue depths: the
+// dispatch queue (instantiations awaiting a worker) and the submit
+// queue (worker results awaiting the committer), with high-water marks.
+type PipelineStats struct {
+	DispatchDepth int64
+	DispatchPeak  int64
+	SubmitDepth   int64
+	SubmitPeak    int64
+}
+
+// PipelineStats returns the current pipeline queue gauges.
+func (e *Parallel) PipelineStats() PipelineStats {
+	return PipelineStats{
+		DispatchDepth: e.dispatchQ.Value(),
+		DispatchPeak:  e.dispatchQ.Peak(),
+		SubmitDepth:   e.submitQ.Value(),
+		SubmitPeak:    e.submitQ.Peak(),
+	}
+}
+
 // NewParallel builds a dynamic parallel engine using the given locking
 // scheme (lock.Scheme2PL or lock.SchemeRcRaWa).
 func NewParallel(p Program, scheme lock.Scheme, opts Options) (*Parallel, error) {
-	o := opts.withDefaults()
-	store, m, err := load(p, o)
+	rt, err := newRuntime(p, opts)
 	if err != nil {
 		return nil, err
 	}
 	e := &Parallel{
-		opts:     o,
-		scheme:   scheme,
-		store:    store,
-		lm:       lock.NewManagerPolicy(scheme, o.Deadlock),
-		matcher:  m,
-		fired:    make(map[string]bool),
-		inflight: make(map[string]bool),
-		txnInst:  make(map[lock.TxnID]string),
-		retries:  make(map[string]int),
-		sem:      make(chan struct{}, o.Np),
+		rt:         rt,
+		scheme:     scheme,
+		lm:         lock.NewManagerShards(scheme, rt.opts.Deadlock, rt.opts.LockShards),
+		active:     make(map[string]bool),
+		dispatched: make(map[string]bool),
+		retries:    make(map[string]int),
 	}
-	e.cond = sync.NewCond(&e.mu)
+	if t, ok := rt.matcher.(match.ChangeTracker); ok {
+		t.TrackChanges(true)
+		e.tracked = true
+	}
 	return e, nil
 }
 
 // Store exposes the engine's working memory.
-func (e *Parallel) Store() *wm.Store { return e.store }
+func (e *Parallel) Store() *wm.Store { return e.rt.store }
 
 // LockStats returns the lock manager's counters.
 func (e *Parallel) LockStats() lock.Stats { return e.lm.Stats() }
 
-// Run dispatches active instantiations to workers until quiescence
-// (no unfired instantiation and no in-flight firing), a halt action,
-// an error, or the firing limit.
+// Run drives the pipeline until quiescence (no dispatchable
+// instantiation, no in-flight firing, no armed backoff timer), a halt
+// action, an error, or the firing limit.
 func (e *Parallel) Run() (Result, error) {
-	e.mu.Lock()
+	rt := e.rt
+	e.work = make(chan *match.Instantiation)
+	e.events = make(chan pevent, rt.opts.Np*2+4)
+	for i := 0; i < rt.opts.Np; i++ {
+		e.wg.Add(1)
+		go e.workerLoop()
+	}
+
+	// Seed: enabling change tracking journalled the initial membership,
+	// so the first refresh activates and enqueues the loaded conflict
+	// set; everything after arrives incrementally from commits.
+	e.refresh(rt.matcher.ConflictSet())
+
+	inflight, timers := 0, 0
 	for {
-		if e.stopLocked() {
+		if rt.stopping() {
+			e.stopping.Store(true)
+		}
+		stop := e.stopping.Load()
+
+		// Pick the next dispatchable instantiation, lazily pruning
+		// entries whose keys fired or left the conflict set.
+		var sendCh chan *match.Instantiation
+		var next *match.Instantiation
+		if !stop {
+			for len(e.pending) > 0 {
+				in := e.pending[0]
+				k := in.Key()
+				if e.activeHas(k) && !rt.fired[k] {
+					next, sendCh = in, e.work
+					break
+				}
+				delete(e.dispatched, k)
+				e.pending = e.pending[1:]
+			}
+		}
+		e.dispatchQ.Set(int64(len(e.pending)))
+
+		if sendCh == nil && inflight == 0 && timers == 0 && (stop || len(e.pending) == 0) {
 			break
 		}
-		cands := e.readyLocked()
-		if len(cands) == 0 {
-			if e.running == 0 {
-				break
+
+		select {
+		case ev := <-e.events:
+			e.submitQ.Add(-1)
+			switch ev.kind {
+			case evCommit:
+				inflight--
+				timers += e.resolveCommit(ev)
+			case evAborted:
+				inflight--
+				if ev.err != nil {
+					rt.fail(ev.err)
+				}
+				timers += e.noteAbort(ev.in)
+			case evSkipped:
+				inflight--
+				rt.skips++
+				delete(e.dispatched, ev.in.Key())
+			case evRequeue:
+				timers--
+				k := ev.in.Key()
+				if !rt.stopping() && e.activeHas(k) && !rt.fired[k] {
+					e.pending = append(e.pending, ev.in)
+				} else {
+					delete(e.dispatched, k)
+				}
 			}
-			e.cond.Wait()
-			continue
-		}
-		e.rounds++
-		for _, in := range cands {
-			e.inflight[in.Key()] = true
-			e.running++
-			e.wg.Add(1)
-			go e.worker(in)
+		case sendCh <- next:
+			e.pending = e.pending[1:]
+			inflight++
 		}
 	}
-	e.mu.Unlock()
+
+	close(e.work)
 	e.wg.Wait()
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	res := Result{
-		Firings:  e.firings,
-		Aborts:   e.aborts,
-		Skips:    e.skips,
-		Cycles:   e.rounds,
-		Halted:   e.halted,
-		LimitHit: e.limit,
-		Log:      e.opts.Log,
-		Store:    e.store,
-	}
-	return res, e.runErr
+	return rt.result(), rt.err
 }
 
-// stopLocked reports whether dispatching must stop. Caller holds e.mu.
-func (e *Parallel) stopLocked() bool {
-	if e.firings >= e.opts.MaxFirings {
-		e.limit = true
-	}
-	return e.halted || e.limit || e.runErr != nil
+// activeHas reports whether the key is an unfired conflict-set member.
+func (e *Parallel) activeHas(key string) bool {
+	e.activeMu.RLock()
+	ok := e.active[key]
+	e.activeMu.RUnlock()
+	return ok
 }
 
-// readyLocked returns active instantiations that are neither fired nor
-// in flight. Caller holds e.mu.
-func (e *Parallel) readyLocked() []*match.Instantiation {
-	var out []*match.Instantiation
-	for _, in := range e.matcher.ConflictSet().All() {
+// refresh reconciles the active mirror with the conflict set after a
+// commit (or at startup) and enqueues newly activated instantiations.
+// Tracked incremental matchers supply a change journal; matchers that
+// rebuild the set journal the full membership, which is detected (no
+// removals, additions equal to the set) and reconciled wholesale. Keys
+// appearing as both added and removed are resolved by Contains.
+func (e *Parallel) refresh(cs *match.ConflictSet) {
+	rt := e.rt
+	var added []*match.Instantiation
+	var removed []string
+	if e.tracked {
+		added, removed = cs.TakeChanges()
+	} else {
+		added = cs.All()
+	}
+	if !e.tracked || (len(removed) == 0 && len(added) == cs.Len()) {
+		// Snapshot reconcile: added holds the complete membership.
+		act := make(map[string]bool, len(added))
+		for _, in := range added {
+			if k := in.Key(); !rt.fired[k] {
+				act[k] = true
+			}
+		}
+		e.activeMu.Lock()
+		old := e.active
+		e.active = act
+		e.activeMu.Unlock()
+		for k := range old {
+			if !act[k] {
+				delete(e.retries, k)
+			}
+		}
+	} else {
+		e.activeMu.Lock()
+		for _, k := range removed {
+			if !cs.Contains(k) {
+				delete(e.active, k)
+			}
+		}
+		for _, in := range added {
+			if k := in.Key(); cs.Contains(k) && !rt.fired[k] {
+				e.active[k] = true
+			}
+		}
+		e.activeMu.Unlock()
+		for _, k := range removed {
+			if !cs.Contains(k) {
+				delete(e.retries, k)
+			}
+		}
+	}
+	queued := 0
+	for _, in := range added {
 		k := in.Key()
-		if !e.fired[k] && !e.inflight[k] {
-			out = append(out, in)
+		if !rt.fired[k] && !e.dispatched[k] && e.activeHas(k) {
+			e.dispatched[k] = true
+			e.pending = append(e.pending, in)
+			queued++
 		}
 	}
-	return out
+	if queued > 0 {
+		rt.cycles++
+	}
 }
 
-// worker fires one instantiation as a transaction.
-func (e *Parallel) worker(in *match.Instantiation) {
-	defer e.wg.Done()
-	e.sem <- struct{}{}
-	defer func() { <-e.sem }()
+// resolveCommit is the committer's half of a firing: validate the
+// submission against the current conflict set and lock state, commit
+// through the shared runtime, kill Rc victims, and activate the
+// instantiations the delta enabled. Returns the number of backoff
+// timers armed.
+func (e *Parallel) resolveCommit(ev pevent) (timers int) {
+	rt := e.rt
+	key := ev.in.Key()
+	defer close(ev.reply)
 
-	key := in.Key()
-	defer func() {
-		e.mu.Lock()
-		delete(e.inflight, key)
-		e.running--
-		e.cond.Broadcast()
-		e.mu.Unlock()
-	}()
-
-	// Back off retried firings so repeated abort cycles (e.g. the
-	// mutual deadlock of Figure 4.4 under 2PL) cannot livelock.
-	e.mu.Lock()
-	retry := e.retries[key]
-	e.mu.Unlock()
-	if retry > 0 {
-		d := time.Duration(retry) * 500 * time.Microsecond
-		if max := 50 * time.Millisecond; d > max {
-			d = max
+	switch {
+	case e.lm.Aborted(ev.txn):
+		ev.wtx.Abort()
+		e.logResolution(trace.KindAbort, ev, "rc-wa victim")
+		timers = e.noteAbort(ev.in)
+	case rt.stopping():
+		ev.wtx.Abort()
+		e.logResolution(trace.KindSkip, ev, "engine stopping")
+		rt.skips++
+		delete(e.dispatched, key)
+	default:
+		cs := rt.matcher.ConflictSet()
+		if !cs.Contains(key) || rt.fired[key] {
+			ev.wtx.Abort()
+			e.logResolution(trace.KindAbort, ev, "invalidated before commit")
+			rt.aborts++
+			e.deactivate(key)
+			delete(e.dispatched, key)
+			delete(e.retries, key)
+			break
 		}
-		time.Sleep(d)
+		if err := rt.commit(ev.in, ev.wtx, int64(ev.txn), ev.halt); err != nil {
+			rt.fail(err)
+			if errors.Is(err, ErrInconsistent) {
+				ev.wtx.Abort()
+				e.logResolution(trace.KindAbort, ev, "verify failed")
+			} else {
+				e.logResolution(trace.KindAbort, ev, "commit error")
+			}
+			rt.aborts++
+			delete(e.dispatched, key)
+			break
+		}
+		e.latency.Observe(time.Since(ev.start))
+		e.deactivate(key)
+		delete(e.dispatched, key)
+		delete(e.retries, key)
+		cs = rt.matcher.ConflictSet() // post-commit state
+		// Rule (ii): abort conflicting Rc holders — unless the
+		// reevaluate policy finds their instantiation untouched by
+		// this commit.
+		for _, victim := range e.lm.RcVictims(ev.txn) {
+			if rt.opts.AbortPolicy == AbortReevaluate {
+				if vk, ok := e.txnInst.Load(victim); ok {
+					if k := vk.(string); cs.Contains(k) && !rt.fired[k] {
+						continue
+					}
+				}
+			}
+			e.lm.Abort(victim)
+		}
+		e.refresh(cs)
 	}
+	return timers
+}
 
+// noteAbort counts an abort and, if the instantiation is still live,
+// arms a backoff timer that re-enqueues it — proportional to its abort
+// count so productions that repeatedly deadlock against each other
+// break lockstep, and without occupying a worker while it waits.
+// Returns 1 if a timer was armed.
+func (e *Parallel) noteAbort(in *match.Instantiation) int {
+	rt := e.rt
+	rt.aborts++
+	k := in.Key()
+	e.retries[k]++
+	if rt.stopping() || rt.fired[k] || !e.activeHas(k) {
+		delete(e.dispatched, k)
+		return 0
+	}
+	d := time.Duration(e.retries[k]) * 500 * time.Microsecond
+	if max := 50 * time.Millisecond; d > max {
+		d = max
+	}
+	time.AfterFunc(d, func() {
+		e.submitQ.Add(1)
+		e.events <- pevent{kind: evRequeue, in: in}
+	})
+	return 1
+}
+
+// deactivate removes a key from the workers' active mirror.
+func (e *Parallel) deactivate(key string) {
+	e.activeMu.Lock()
+	delete(e.active, key)
+	e.activeMu.Unlock()
+}
+
+// logResolution records the committer's verdict on a submission.
+func (e *Parallel) logResolution(kind trace.Kind, ev pevent, detail string) {
+	e.rt.opts.Log.Append(trace.Event{Kind: kind, Rule: ev.in.Rule.Name,
+		Inst: ev.in.Key(), Txn: int64(ev.txn), Detail: detail})
+}
+
+// workerLoop fires instantiations from the work channel until it
+// closes.
+func (e *Parallel) workerLoop() {
+	defer e.wg.Done()
+	for in := range e.work {
+		e.fire(in)
+	}
+}
+
+// fire executes one instantiation as a transaction and submits the
+// outcome to the committer.
+func (e *Parallel) fire(in *match.Instantiation) {
+	rt := e.rt
+	key := in.Key()
 	txn := e.lm.Begin()
-	e.mu.Lock()
-	e.txnInst[txn] = key
-	e.mu.Unlock()
-
-	finish := func() {
+	e.txnInst.Store(txn, key)
+	end := func() {
 		e.lm.End(txn)
-		e.mu.Lock()
-		delete(e.txnInst, txn)
-		e.mu.Unlock()
+		e.txnInst.Delete(txn)
 	}
-	abort := func(reason string) {
-		e.opts.Log.Append(trace.Event{Kind: trace.KindAbort, Rule: in.Rule.Name,
+	submit := func(ev pevent) {
+		e.submitQ.Add(1)
+		e.events <- ev
+	}
+	abort := func(reason string, err error) {
+		rt.opts.Log.Append(trace.Event{Kind: trace.KindAbort, Rule: in.Rule.Name,
 			Inst: key, Txn: int64(txn), Detail: reason})
-		e.mu.Lock()
-		e.aborts++
-		e.retries[key]++
-		e.mu.Unlock()
-		finish()
+		end()
+		submit(pevent{kind: evAborted, in: in, err: err})
 	}
 	skip := func(reason string) {
-		e.opts.Log.Append(trace.Event{Kind: trace.KindSkip, Rule: in.Rule.Name,
+		rt.opts.Log.Append(trace.Event{Kind: trace.KindSkip, Rule: in.Rule.Name,
 			Inst: key, Txn: int64(txn), Detail: reason})
-		e.mu.Lock()
-		e.skips++
-		e.mu.Unlock()
-		finish()
+		end()
+		submit(pevent{kind: evSkipped, in: in})
 	}
 
 	// Phase 1: Rc locks for condition evaluation (Figure 4.2).
 	for _, res := range rcResources(in) {
 		if err := e.lm.Acquire(txn, res, lock.Rc); err != nil {
-			abort("rc: " + err.Error())
+			abort("rc: "+err.Error(), nil)
 			return
 		}
 	}
 
 	// Condition re-evaluation under Rc locks: the instantiation may
 	// have been invalidated by a commit since dispatch.
-	e.mu.Lock()
-	active := e.matcher.ConflictSet().Contains(key) && !e.fired[key] && !e.stopLocked()
-	e.mu.Unlock()
-	if !active {
+	if e.stopping.Load() || !e.activeHas(key) {
 		skip("stale before execution")
 		return
 	}
 
-	e.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: key, Txn: int64(txn)})
-	fireStart := time.Now()
+	rt.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: key, Txn: int64(txn)})
+	start := time.Now()
 
 	// Simulated condition-evaluation cost: Rc locks held, RHS locks
 	// not yet requested — the Figure 4.3/4.4 window.
-	if d := e.opts.CondDelay[in.Rule.Name]; d > 0 {
+	if d := rt.opts.CondDelay[in.Rule.Name]; d > 0 {
 		time.Sleep(d)
 	}
 
 	// Phase 2: all Ra and Wa locks at RHS start (Section 4.3).
 	for _, l := range rhsLocks(in) {
 		if err := e.lm.Acquire(txn, l.res, l.mode); err != nil {
-			abort(l.mode.String() + ": " + err.Error())
+			abort(l.mode.String()+": "+err.Error(), nil)
 			return
 		}
 	}
 
 	// Action execution (simulated cost, then staged effects).
-	if d := e.opts.RuleDelay[in.Rule.Name]; d > 0 {
+	if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
 		time.Sleep(d)
 	}
-	wtx := e.store.Begin()
+	wtx := rt.store.Begin()
 	halt, err := match.ExecuteActions(in, wtx)
 	if err != nil {
 		wtx.Abort()
-		e.fail(err)
-		abort("action error")
+		abort("action error", err)
 		return
 	}
 
-	// Commit point: atomic under the engine mutex so the conflict set
-	// always reflects exactly the committed prefix.
-	e.mu.Lock()
-	if e.lm.Aborted(txn) {
-		e.mu.Unlock()
-		wtx.Abort()
-		abort("rc-wa victim")
-		return
-	}
-	if e.stopLocked() {
-		e.mu.Unlock()
-		wtx.Abort()
-		skip("engine stopping")
-		return
-	}
-	if !e.matcher.ConflictSet().Contains(key) || e.fired[key] {
-		e.mu.Unlock()
-		wtx.Abort()
-		abort("invalidated before commit")
-		return
-	}
-	if e.opts.Verify && !verifyActive(e.store, in) {
-		e.runErr = fmt.Errorf("%w: %s committed while inactive", ErrInconsistent, key)
-		e.mu.Unlock()
-		wtx.Abort()
-		abort("verify failed")
-		return
-	}
-	delta, err := wtx.Commit()
-	if err != nil {
-		e.runErr = err
-		e.mu.Unlock()
-		abort("commit error")
-		return
-	}
-	if err := e.opts.logDelta(delta); err != nil && e.runErr == nil {
-		e.runErr = err
-	}
-	for _, w := range delta.Removes {
-		e.matcher.Remove(w)
-	}
-	for _, w := range delta.Adds {
-		e.matcher.Insert(w)
-	}
-	e.fired[key] = true
-	e.firings++
-	e.latency.Observe(time.Since(fireStart))
-	// Rule (ii): abort conflicting Rc holders — unless the reevaluate
-	// policy finds their instantiation untouched by this commit.
-	for _, victim := range e.lm.RcVictims(txn) {
-		if e.opts.AbortPolicy == AbortReevaluate {
-			if vk, ok := e.txnInst[victim]; ok && e.matcher.ConflictSet().Contains(vk) && !e.fired[vk] {
-				continue
-			}
-		}
-		e.lm.Abort(victim)
-	}
-	if halt {
-		e.halted = true
-	}
-	e.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
-		Inst: key, Txn: int64(txn), WMEs: fingerprints(in)})
-	if halt {
-		e.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: key, Txn: int64(txn)})
-	}
-	e.mu.Unlock()
-	finish()
-}
-
-// fail records the first run error.
-func (e *Parallel) fail(err error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.runErr == nil {
-		e.runErr = err
-	}
+	// Submit to the committer; hold the lock transaction open until it
+	// answers so a commit's RcVictims scan still sees our locks.
+	reply := make(chan struct{})
+	submit(pevent{kind: evCommit, in: in, txn: txn, wtx: wtx, halt: halt, start: start, reply: reply})
+	<-reply
+	end()
 }

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+
+	"pdps/internal/match"
+	"pdps/internal/trace"
+	"pdps/internal/wm"
+)
+
+// runtime bundles the state and plumbing every engine shares: the
+// loaded store and matcher, refraction memory, the run counters, and
+// the commit sequence — verify, atomic delta application, WAL append,
+// incremental re-match, and trace events. Engines differ only in how
+// they schedule firings around it.
+//
+// runtime methods are not concurrency-safe. Serial engines call them
+// from their run loop; the dynamic engine calls them from its single
+// committer goroutine, which is the point of the design — the matcher
+// and conflict set have exactly one writer.
+type runtime struct {
+	opts    Options
+	store   *wm.Store
+	matcher match.Matcher
+	fired   map[string]bool // refraction: instantiation keys already fired
+
+	firings int
+	aborts  int
+	skips   int
+	cycles  int
+	halted  bool
+	limit   bool
+	err     error
+}
+
+// newRuntime loads the program and returns the shared engine state.
+func newRuntime(p Program, opts Options) (*runtime, error) {
+	o := opts.withDefaults()
+	store, m, err := load(p, o)
+	if err != nil {
+		return nil, err
+	}
+	return &runtime{opts: o, store: store, matcher: m, fired: make(map[string]bool)}, nil
+}
+
+// stopping reports whether the run must stop, latching the firing
+// limit on the way.
+func (rt *runtime) stopping() bool {
+	if rt.firings >= rt.opts.MaxFirings {
+		rt.limit = true
+	}
+	return rt.halted || rt.limit || rt.err != nil
+}
+
+// candidates returns the unfired instantiations of the conflict set in
+// deterministic order.
+func (rt *runtime) candidates() []*match.Instantiation {
+	var out []*match.Instantiation
+	for _, in := range rt.matcher.ConflictSet().All() {
+		if !rt.fired[in.Key()] {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// fail records the first run error.
+func (rt *runtime) fail(err error) {
+	if rt.err == nil {
+		rt.err = err
+	}
+}
+
+// commit finishes one executed firing: optional semantic verification,
+// atomic application of the staged delta, WAL append, incremental
+// re-match, refraction bookkeeping, and the commit (and, on halt, the
+// halt) trace events. A verify failure leaves the transaction unstaged
+// so the caller can abort it; any other error has consumed it.
+func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt bool) error {
+	key := in.Key()
+	if rt.opts.Verify && !verifyActive(rt.store, in) {
+		return fmt.Errorf("%w: %s committed while inactive", ErrInconsistent, key)
+	}
+	delta, err := tx.Commit()
+	if err != nil {
+		return err
+	}
+	if err := rt.opts.logDelta(delta); err != nil {
+		rt.fail(err)
+	}
+	for _, w := range delta.Removes {
+		rt.matcher.Remove(w)
+	}
+	for _, w := range delta.Adds {
+		rt.matcher.Insert(w)
+	}
+	rt.fired[key] = true
+	rt.firings++
+	rt.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
+		Inst: key, Txn: txn, WMEs: fingerprints(in)})
+	if halt {
+		rt.halted = true
+		rt.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: key, Txn: txn})
+	}
+	return nil
+}
+
+// result assembles the run summary from the counters.
+func (rt *runtime) result() Result {
+	return Result{
+		Firings:  rt.firings,
+		Aborts:   rt.aborts,
+		Skips:    rt.skips,
+		Cycles:   rt.cycles,
+		Halted:   rt.halted,
+		LimitHit: rt.limit,
+		Log:      rt.opts.Log,
+		Store:    rt.store,
+	}
+}

@@ -14,96 +14,63 @@ import (
 // inspected, and the recognize-act cycle stepped — the substrate for
 // the psshell tool.
 type Session struct {
-	opts    Options
-	rules   []*match.Rule
-	store   *wm.Store
-	matcher match.Matcher
-	fired   map[string]bool
+	rt    *runtime
+	rules []*match.Rule
 }
 
 // NewSession builds a session over the program.
 func NewSession(p Program, opts Options) (*Session, error) {
-	o := opts.withDefaults()
-	store, m, err := load(p, o)
+	rt, err := newRuntime(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
-		opts:    o,
-		rules:   append([]*match.Rule(nil), p.Rules...),
-		store:   store,
-		matcher: m,
-		fired:   make(map[string]bool),
-	}, nil
+	return &Session{rt: rt, rules: append([]*match.Rule(nil), p.Rules...)}, nil
 }
 
 // Store exposes the session's working memory. Mutate it only through
 // the session so the matcher stays in sync.
-func (s *Session) Store() *wm.Store { return s.store }
+func (s *Session) Store() *wm.Store { return s.rt.store }
 
 // ConflictSet returns the current unfired instantiations.
 func (s *Session) ConflictSet() []*match.Instantiation {
-	var out []*match.Instantiation
-	for _, in := range s.matcher.ConflictSet().All() {
-		if !s.fired[in.Key()] {
-			out = append(out, in)
-		}
-	}
-	return out
+	return s.rt.candidates()
 }
 
 // AssertWME adds a tuple to working memory and updates the match state.
 func (s *Session) AssertWME(class string, attrs map[string]wm.Value) *wm.WME {
-	w := s.store.Insert(class, attrs)
-	s.matcher.Insert(w)
+	w := s.rt.store.Insert(class, attrs)
+	s.rt.matcher.Insert(w)
 	return w
 }
 
 // Retract removes the tuple with the given ID.
 func (s *Session) Retract(id int64) error {
-	w, ok := s.store.Remove(id)
+	w, ok := s.rt.store.Remove(id)
 	if !ok {
 		return fmt.Errorf("engine: no WME with id %d", id)
 	}
-	s.matcher.Remove(w)
+	s.rt.matcher.Remove(w)
 	return nil
 }
 
 // Step fires one production (selected by the session's strategy) and
 // returns its rule name, or "" if the system is quiescent.
 func (s *Session) Step() (string, error) {
-	cands := s.ConflictSet()
+	cands := s.rt.candidates()
 	if len(cands) == 0 {
 		return "", nil
 	}
-	in := s.opts.Strategy.Select(cands)
-	key := in.Key()
-	s.fired[key] = true
-	tx := s.store.Begin()
+	in := s.rt.opts.Strategy.Select(cands)
+	tx := s.rt.store.Begin()
 	halt, err := match.ExecuteActions(in, tx)
 	if err != nil {
 		tx.Abort()
 		return "", err
 	}
-	delta, err := tx.Commit()
-	if err != nil {
+	if err := s.rt.commit(in, tx, 0, halt); err != nil {
 		return "", err
 	}
-	if err := s.opts.logDelta(delta); err != nil {
-		return "", err
-	}
-	for _, w := range delta.Removes {
-		s.matcher.Remove(w)
-	}
-	for _, w := range delta.Adds {
-		s.matcher.Insert(w)
-	}
-	s.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
-		Inst: key, WMEs: fingerprints(in)})
-	if halt {
-		return in.Rule.Name, nil
-	}
-	return in.Rule.Name, nil
+	return in.Rule.Name, s.rt.err
 }
 
 // Run fires up to max productions and returns how many fired.
@@ -123,7 +90,7 @@ func (s *Session) Run(max int) (int, error) {
 }
 
 // Log returns the session's trace log.
-func (s *Session) Log() *trace.Log { return s.opts.Log }
+func (s *Session) Log() *trace.Log { return s.rt.opts.Log }
 
 // LoadSnapshot replaces the session's working memory with a snapshot
 // and rebuilds the match state; refraction history is reset.
@@ -132,7 +99,7 @@ func (s *Session) LoadSnapshot(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	m, err := newMatcher(s.opts.Matcher, s.opts.MatchShards)
+	m, err := newMatcher(s.rt.opts.Matcher, s.rt.opts.MatchShards)
 	if err != nil {
 		return err
 	}
@@ -144,8 +111,8 @@ func (s *Session) LoadSnapshot(r io.Reader) error {
 	for _, w := range store.All() {
 		m.Insert(w)
 	}
-	s.store = store
-	s.matcher = m
-	s.fired = make(map[string]bool)
+	s.rt.store = store
+	s.rt.matcher = m
+	s.rt.fired = make(map[string]bool)
 	return nil
 }

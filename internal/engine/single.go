@@ -14,88 +14,57 @@ import (
 // set of possible commit sequences defines ES_single, the correctness
 // reference for every parallel engine.
 type Single struct {
-	opts    Options
-	store   *wm.Store
-	matcher match.Matcher
-	fired   map[string]bool // refraction: instantiation keys already fired
+	rt *runtime
 }
 
 // NewSingle builds a single-thread engine for the program.
 func NewSingle(p Program, opts Options) (*Single, error) {
-	o := opts.withDefaults()
-	store, m, err := load(p, o)
+	rt, err := newRuntime(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Single{opts: o, store: store, matcher: m, fired: make(map[string]bool)}, nil
+	return &Single{rt: rt}, nil
 }
 
 // Store exposes the engine's working memory (for inspection and tests).
-func (e *Single) Store() *wm.Store { return e.store }
+func (e *Single) Store() *wm.Store { return e.rt.store }
 
 // Run executes recognize-act cycles until the conflict set holds no
 // unfired instantiation, a halt action executes, or MaxFirings is hit.
 func (e *Single) Run() (Result, error) {
-	res := Result{Log: e.opts.Log, Store: e.store}
+	rt := e.rt
 	for {
-		if res.Firings >= e.opts.MaxFirings {
-			res.LimitHit = true
-			return res, nil
+		if rt.firings >= rt.opts.MaxFirings {
+			rt.limit = true
+			return rt.result(), nil
 		}
-		cands := e.candidates()
+		cands := rt.candidates()
 		if len(cands) == 0 {
-			return res, nil
+			return rt.result(), nil
 		}
-		res.Cycles++
-		in := e.opts.Strategy.Select(cands)
+		rt.cycles++
+		in := rt.opts.Strategy.Select(cands)
 		key := in.Key()
-		e.fired[key] = true
-		e.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: key})
+		rt.fired[key] = true
+		rt.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: key})
 
-		if e.opts.Verify && !verifyActive(e.store, in) {
-			return res, fmt.Errorf("%w: %s selected while inactive", ErrInconsistent, key)
+		if rt.opts.Verify && !verifyActive(rt.store, in) {
+			return rt.result(), fmt.Errorf("%w: %s selected while inactive", ErrInconsistent, key)
 		}
-		if d := e.opts.RuleDelay[in.Rule.Name]; d > 0 {
+		if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
 			time.Sleep(d)
 		}
-		tx := e.store.Begin()
+		tx := rt.store.Begin()
 		halt, err := match.ExecuteActions(in, tx)
 		if err != nil {
 			tx.Abort()
-			return res, err
+			return rt.result(), err
 		}
-		delta, err := tx.Commit()
-		if err != nil {
-			return res, err
+		if err := rt.commit(in, tx, 0, halt); err != nil {
+			return rt.result(), err
 		}
-		if err := e.opts.logDelta(delta); err != nil {
-			return res, err
-		}
-		for _, w := range delta.Removes {
-			e.matcher.Remove(w)
-		}
-		for _, w := range delta.Adds {
-			e.matcher.Insert(w)
-		}
-		res.Firings++
-		e.opts.Log.Append(trace.Event{
-			Kind: trace.KindCommit, Rule: in.Rule.Name, Inst: key, WMEs: fingerprints(in),
-		})
-		if halt {
-			res.Halted = true
-			e.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: key})
-			return res, nil
+		if rt.halted || rt.err != nil {
+			return rt.result(), rt.err
 		}
 	}
-}
-
-// candidates returns the unfired instantiations of the conflict set.
-func (e *Single) candidates() []*match.Instantiation {
-	var out []*match.Instantiation
-	for _, in := range e.matcher.ConflictSet().All() {
-		if !e.fired[in.Key()] {
-			out = append(out, in)
-		}
-	}
-	return out
 }

@@ -16,10 +16,7 @@ import (
 // because members update non-overlapping parts of working memory, the
 // batch is equivalent to firing its members in any serial order.
 type Static struct {
-	opts    Options
-	store   *wm.Store
-	matcher match.Matcher
-	fired   map[string]bool
+	rt *runtime
 	// interferes[a][b] caches match.Interferes for rule names a, b.
 	interferes map[string]map[string]bool
 }
@@ -28,8 +25,7 @@ type Static struct {
 // rule-interference matrix is computed once, up front — the paper's
 // pre-execution analysis.
 func NewStatic(p Program, opts Options) (*Static, error) {
-	o := opts.withDefaults()
-	store, m, err := load(p, o)
+	rt, err := newRuntime(p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -41,12 +37,11 @@ func NewStatic(p Program, opts Options) (*Static, error) {
 		}
 		inter[a.Name] = row
 	}
-	return &Static{opts: o, store: store, matcher: m,
-		fired: make(map[string]bool), interferes: inter}, nil
+	return &Static{rt: rt, interferes: inter}, nil
 }
 
 // Store exposes the engine's working memory.
-func (e *Static) Store() *wm.Store { return e.store }
+func (e *Static) Store() *wm.Store { return e.rt.store }
 
 // Interferes reports the cached interference relation between two
 // rules (exposed for tests and the psbench harness).
@@ -55,25 +50,20 @@ func (e *Static) Interferes(a, b string) bool { return e.interferes[a][b] }
 // Run executes batched cycles until no unfired instantiation remains,
 // a halt fires, or MaxFirings is hit.
 func (e *Static) Run() (Result, error) {
-	res := Result{Log: e.opts.Log, Store: e.store}
+	rt := e.rt
 	for {
-		if res.Firings >= e.opts.MaxFirings {
-			res.LimitHit = true
-			return res, nil
+		if rt.firings >= rt.opts.MaxFirings {
+			rt.limit = true
+			return rt.result(), nil
 		}
-		var cands []*match.Instantiation
-		for _, in := range e.matcher.ConflictSet().All() {
-			if !e.fired[in.Key()] {
-				cands = append(cands, in)
-			}
-		}
+		cands := rt.candidates()
 		if len(cands) == 0 {
-			return res, nil
+			return rt.result(), nil
 		}
-		res.Cycles++
+		rt.cycles++
 		batch := e.batch(cands)
-		if res.Firings+len(batch) > e.opts.MaxFirings {
-			batch = batch[:e.opts.MaxFirings-res.Firings]
+		if rt.firings+len(batch) > rt.opts.MaxFirings {
+			batch = batch[:rt.opts.MaxFirings-rt.firings]
 		}
 
 		// Execute the batch in parallel, each firing staging into its
@@ -81,7 +71,7 @@ func (e *Static) Run() (Result, error) {
 		txs := make([]*wm.Txn, len(batch))
 		halts := make([]bool, len(batch))
 		errs := make([]error, len(batch))
-		sem := make(chan struct{}, e.opts.Np)
+		sem := make(chan struct{}, rt.opts.Np)
 		var wg sync.WaitGroup
 		for i, in := range batch {
 			wg.Add(1)
@@ -89,11 +79,11 @@ func (e *Static) Run() (Result, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				e.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: in.Key()})
-				if d := e.opts.RuleDelay[in.Rule.Name]; d > 0 {
+				rt.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: in.Key()})
+				if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
 					time.Sleep(d)
 				}
-				tx := e.store.Begin()
+				tx := rt.store.Begin()
 				halts[i], errs[i] = match.ExecuteActions(in, tx)
 				txs[i] = tx
 			}(i, in)
@@ -106,42 +96,19 @@ func (e *Static) Run() (Result, error) {
 						tx.Abort()
 					}
 				}
-				return res, err
+				return rt.result(), err
 			}
 		}
 
 		// Commit sequentially in batch order: by Theorem 1 this is
 		// equivalent to any other serial order of the batch.
-		halted := false
 		for i, in := range batch {
-			if e.opts.Verify && !verifyActive(e.store, in) {
-				return res, ErrInconsistent
-			}
-			delta, err := txs[i].Commit()
-			if err != nil {
-				return res, err
-			}
-			if err := e.opts.logDelta(delta); err != nil {
-				return res, err
-			}
-			for _, w := range delta.Removes {
-				e.matcher.Remove(w)
-			}
-			for _, w := range delta.Adds {
-				e.matcher.Insert(w)
-			}
-			e.fired[in.Key()] = true
-			res.Firings++
-			e.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
-				Inst: in.Key(), WMEs: fingerprints(in)})
-			if halts[i] {
-				halted = true
-				e.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: in.Key()})
+			if err := rt.commit(in, txs[i], 0, halts[i]); err != nil {
+				return rt.result(), err
 			}
 		}
-		if halted {
-			res.Halted = true
-			return res, nil
+		if rt.halted || rt.err != nil {
+			return rt.result(), rt.err
 		}
 	}
 }
@@ -152,7 +119,7 @@ func (e *Static) Run() (Result, error) {
 // attribute-disjoint modifies hitting the same tuple), members must
 // also target disjoint WMEs.
 func (e *Static) batch(cands []*match.Instantiation) []*match.Instantiation {
-	seed := e.opts.Strategy.Select(cands)
+	seed := e.rt.opts.Strategy.Select(cands)
 	batch := []*match.Instantiation{seed}
 	writes := writeTargets(seed)
 	for _, in := range cands {

@@ -39,23 +39,29 @@ func (p DeadlockPolicy) String() string {
 // resolveBlockedLocked applies the deadlock policy for transaction id
 // blocked by the given transactions. It returns abortSelf=true when
 // the requester must give up with ErrDeadlock; otherwise the requester
-// should (re-)wait. Caller holds m.mu.
+// should (re-)wait. Caller holds the registry mutex. Blockers already
+// aborted or ending are left alone — their locks are about to be
+// released, so the requester just waits for the broadcast.
 func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abortSelf bool) {
+	settling := func(b TxnID) bool {
+		tx := m.reg.txns[b]
+		return tx == nil || tx.aborted || tx.ending
+	}
 	switch m.policy {
 	case DeadlockWoundWait:
 		// Wound every younger blocker; wait on older ones.
 		for b := range blockers {
-			if b > id {
+			if b > id && !settling(b) {
 				m.abortLocked(b, ErrDeadlock)
-				m.stats.Deadlocks++
+				m.reg.deadlocks++
 			}
 		}
 		return false
 	case DeadlockWaitDie:
 		// Die if any blocker is older.
 		for b := range blockers {
-			if b < id {
-				m.stats.Deadlocks++
+			if b < id && !settling(b) {
+				m.reg.deadlocks++
 				return true
 			}
 		}
@@ -63,7 +69,7 @@ func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abort
 	default: // DeadlockDetect
 		if victim := m.findDeadlockVictimLocked(id); victim != 0 {
 			m.abortLocked(victim, ErrDeadlock)
-			m.stats.Deadlocks++
+			m.reg.deadlocks++
 			if victim == id {
 				return true
 			}

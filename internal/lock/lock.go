@@ -7,11 +7,22 @@
 // same data — the Rc–Wa conflict is allowed to exist — and safety is
 // restored at commit time by aborting the Rc holders that lost the
 // race (Section 4.3, rules (i) and (ii)).
+//
+// The lock tables are sharded by class hash: each shard has its own
+// mutex, condition variable and entry maps, so transactions locking
+// resources of different classes never contend on manager state. A
+// tuple-level resource and its class's relation-level resource always
+// land in the same shard, which keeps the tuple/relation escalation
+// checks and the commit-time RcVictims scan atomic per class. A
+// process-wide transaction registry (its own mutex) carries the
+// waits-for graph, so the deadlock detector and the wound-wait /
+// wait-die policies still see every shard's waiters.
 package lock
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 )
@@ -126,11 +137,17 @@ var (
 	ErrAborted = errors.New("lock: transaction aborted")
 )
 
+// txnState is one live transaction. held, aborted, abortErr, ending
+// and waitsOn are guarded by the registry mutex; id is immutable.
 type txnState struct {
 	id       TxnID
 	held     map[Resource]Mode
 	aborted  bool
 	abortErr error
+	// ending marks a transaction inside End: its locks are about to be
+	// released, so blocked requesters wait for the release broadcast
+	// instead of wounding it or dying because of it.
+	ending bool
 	// waitsOn is the set of transactions currently blocking this one;
 	// rebuilt on every blocked-acquire iteration.
 	waitsOn map[TxnID]bool
@@ -140,27 +157,56 @@ type entry struct {
 	holders map[TxnID]Mode
 }
 
-// Manager is the centralized lock manager. All methods are safe for
-// concurrent use.
-type Manager struct {
+// shard is one slice of the lock tables: every resource whose class
+// hashes here, tuple- and relation-level alike.
+type shard struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	scheme  Scheme
-	policy  DeadlockPolicy
 	entries map[Resource]*entry
 	byClass map[string]map[int64]*entry // tuple-level entries per class
-	txns    map[TxnID]*txnState
-	nextID  TxnID
 
-	stats Stats
+	acquired int64 // grants in this shard; guarded by mu
+	waits    int64 // blocked acquisitions in this shard; guarded by mu
 }
 
-// Stats counts lock-manager events since creation.
+// DefaultShards is the lock-table shard count used by NewManager and
+// NewManagerPolicy.
+const DefaultShards = 16
+
+// Manager is the sharded lock manager. All methods are safe for
+// concurrent use.
+//
+// Lock ordering: a shard mutex may be held while taking the registry
+// mutex, never the reverse, and shard mutexes are never nested.
+type Manager struct {
+	scheme Scheme
+	policy DeadlockPolicy
+	shards []*shard
+	seed   maphash.Seed
+
+	reg struct {
+		sync.Mutex
+		txns      map[TxnID]*txnState
+		nextID    TxnID
+		deadlocks int64
+		aborts    int64
+	}
+}
+
+// ShardStats counts one lock-table shard's events since creation.
+type ShardStats struct {
+	Acquired int64
+	Waits    int64
+}
+
+// Stats counts lock-manager events since creation. Acquired and Waits
+// aggregate the per-shard counters in Shards.
 type Stats struct {
 	Acquired  int64
 	Waits     int64
 	Deadlocks int64
 	Aborts    int64
+	Shards    []ShardStats
 }
 
 // NewManager returns a lock manager using the given scheme and the
@@ -170,16 +216,28 @@ func NewManager(s Scheme) *Manager {
 }
 
 // NewManagerPolicy returns a lock manager with an explicit deadlock
-// policy.
+// policy and DefaultShards lock-table shards.
 func NewManagerPolicy(s Scheme, p DeadlockPolicy) *Manager {
-	m := &Manager{
-		scheme:  s,
-		policy:  p,
-		entries: make(map[Resource]*entry),
-		byClass: make(map[string]map[int64]*entry),
-		txns:    make(map[TxnID]*txnState),
+	return NewManagerShards(s, p, DefaultShards)
+}
+
+// NewManagerShards returns a lock manager with an explicit lock-table
+// shard count (values below 1 mean DefaultShards).
+func NewManagerShards(s Scheme, p DeadlockPolicy, shards int) *Manager {
+	if shards < 1 {
+		shards = DefaultShards
 	}
-	m.cond = sync.NewCond(&m.mu)
+	m := &Manager{scheme: s, policy: p, seed: maphash.MakeSeed()}
+	m.shards = make([]*shard, shards)
+	for i := range m.shards {
+		sh := &shard{
+			entries: make(map[Resource]*entry),
+			byClass: make(map[string]map[int64]*entry),
+		}
+		sh.cond = sync.NewCond(&sh.mu)
+		m.shards[i] = sh
+	}
+	m.reg.txns = make(map[TxnID]*txnState)
 	return m
 }
 
@@ -189,13 +247,28 @@ func (m *Manager) Scheme() Scheme { return m.scheme }
 // Policy returns the manager's deadlock policy.
 func (m *Manager) Policy() DeadlockPolicy { return m.policy }
 
+// NumShards returns the lock-table shard count.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// shardFor maps a class to its lock-table shard.
+func (m *Manager) shardFor(class string) *shard {
+	return m.shards[maphash.String(m.seed, class)%uint64(len(m.shards))]
+}
+
+// txn looks up a transaction in the registry.
+func (m *Manager) txn(id TxnID) *txnState {
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	return m.reg.txns[id]
+}
+
 // Begin registers a new transaction and returns its ID.
 func (m *Manager) Begin() TxnID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextID++
-	id := m.nextID
-	m.txns[id] = &txnState{id: id, held: make(map[Resource]Mode)}
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	m.reg.nextID++
+	id := m.reg.nextID
+	m.reg.txns[id] = &txnState{id: id, held: make(map[Resource]Mode)}
 	return id
 }
 
@@ -203,87 +276,99 @@ func (m *Manager) Begin() TxnID {
 // least) the requested mode, or returns ErrDeadlock/ErrAborted. Lock
 // upgrades (Rc→Ra, Rc→Wa, Ra→Wa) are supported.
 func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx, ok := m.txns[id]
-	if !ok {
+	tx := m.txn(id)
+	if tx == nil {
 		return fmt.Errorf("lock: unknown transaction %d", id)
 	}
+	s := m.shardFor(res.Class)
 	waited := false
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for {
+		m.reg.Lock()
 		if tx.aborted {
 			tx.waitsOn = nil
-			return tx.abortErr
+			err := tx.abortErr
+			m.reg.Unlock()
+			return err
 		}
 		if cur, held := tx.held[res]; held && cur >= mode {
 			tx.waitsOn = nil
+			m.reg.Unlock()
 			return nil
 		}
-		blockers := m.blockersLocked(id, res, mode)
+		m.reg.Unlock()
+		blockers := m.blockersLocked(s, id, res, mode)
 		if len(blockers) == 0 {
-			m.grantLocked(tx, res, mode)
-			tx.waitsOn = nil
+			m.grantLocked(s, tx, res, mode)
 			if waited {
 				// Wake others: the wait graph changed.
-				m.cond.Broadcast()
+				s.cond.Broadcast()
 			}
 			return nil
 		}
+		m.reg.Lock()
 		tx.waitsOn = blockers
-		if m.resolveBlockedLocked(id, blockers) {
+		abortSelf := m.resolveBlockedLocked(id, blockers)
+		if abortSelf {
 			tx.waitsOn = nil
+			m.reg.Unlock()
 			return ErrDeadlock
 		}
-		if m.anyAbortedLocked(blockers) {
-			// Prevention may have wounded a blocker, and detection may
-			// have aborted one. The blocker still holds its locks until
-			// its owner rolls back and calls End, so wait for the
-			// release broadcast like any other waiter — but skip the
-			// wait-counter so retried checks are not double-counted.
-			m.cond.Wait()
-			continue
-		}
-		if !waited {
-			m.stats.Waits++
+		settling := m.anySettlingLocked(blockers)
+		m.reg.Unlock()
+		if !settling && !waited {
+			// A blocker may be aborted (wounded by prevention, chosen by
+			// detection) or already releasing; it holds its locks until
+			// its owner finishes End, so wait for the release broadcast
+			// like any other waiter — but skip the wait-counter so
+			// retried checks are not double-counted.
+			s.waits++
 			waited = true
 		}
-		m.cond.Wait()
+		s.cond.Wait()
 	}
 }
 
 // TryAcquire is a non-blocking Acquire: it reports whether the lock was
 // granted immediately.
 func (m *Manager) TryAcquire(id TxnID, res Resource, mode Mode) (bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx, ok := m.txns[id]
-	if !ok {
+	tx := m.txn(id)
+	if tx == nil {
 		return false, fmt.Errorf("lock: unknown transaction %d", id)
 	}
+	s := m.shardFor(res.Class)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.reg.Lock()
 	if tx.aborted {
-		return false, tx.abortErr
+		err := tx.abortErr
+		m.reg.Unlock()
+		return false, err
 	}
 	if cur, held := tx.held[res]; held && cur >= mode {
+		m.reg.Unlock()
 		return true, nil
 	}
-	if len(m.blockersLocked(id, res, mode)) > 0 {
+	m.reg.Unlock()
+	if len(m.blockersLocked(s, id, res, mode)) > 0 {
 		return false, nil
 	}
-	m.grantLocked(tx, res, mode)
+	m.grantLocked(s, tx, res, mode)
 	return true, nil
 }
 
-// grantLocked records the lock; caller holds m.mu.
-func (m *Manager) grantLocked(tx *txnState, res Resource, mode Mode) {
-	e := m.entries[res]
+// grantLocked records the lock; caller holds s.mu.
+func (m *Manager) grantLocked(s *shard, tx *txnState, res Resource, mode Mode) {
+	e := s.entries[res]
 	if e == nil {
 		e = &entry{holders: make(map[TxnID]Mode)}
-		m.entries[res] = e
+		s.entries[res] = e
 		if res.ID != RelationLevel {
-			cls := m.byClass[res.Class]
+			cls := s.byClass[res.Class]
 			if cls == nil {
 				cls = make(map[int64]*entry)
-				m.byClass[res.Class] = cls
+				s.byClass[res.Class] = cls
 			}
 			cls[res.ID] = e
 		}
@@ -291,16 +376,20 @@ func (m *Manager) grantLocked(tx *txnState, res Resource, mode Mode) {
 	if cur, ok := e.holders[tx.id]; !ok || mode > cur {
 		e.holders[tx.id] = mode
 	}
+	m.reg.Lock()
 	if cur, ok := tx.held[res]; !ok || mode > cur {
 		tx.held[res] = mode
 	}
-	m.stats.Acquired++
+	tx.waitsOn = nil
+	m.reg.Unlock()
+	s.acquired++
 }
 
 // blockersLocked returns the set of transactions whose held locks are
 // incompatible with the request, considering the tuple/relation
-// hierarchy. Caller holds m.mu.
-func (m *Manager) blockersLocked(id TxnID, res Resource, mode Mode) map[TxnID]bool {
+// hierarchy. Caller holds s.mu; the class's tuple- and relation-level
+// entries all live in s.
+func (m *Manager) blockersLocked(s *shard, id TxnID, res Resource, mode Mode) map[TxnID]bool {
 	blockers := make(map[TxnID]bool)
 	collect := func(e *entry) {
 		if e == nil {
@@ -315,13 +404,13 @@ func (m *Manager) blockersLocked(id TxnID, res Resource, mode Mode) map[TxnID]bo
 			}
 		}
 	}
-	collect(m.entries[res])
+	collect(s.entries[res])
 	if res.ID == RelationLevel {
-		for _, e := range m.byClass[res.Class] {
+		for _, e := range s.byClass[res.Class] {
 			collect(e)
 		}
 	} else {
-		collect(m.entries[Relation(res.Class)])
+		collect(s.entries[Relation(res.Class)])
 	}
 	if len(blockers) == 0 {
 		return nil
@@ -329,11 +418,13 @@ func (m *Manager) blockersLocked(id TxnID, res Resource, mode Mode) map[TxnID]bo
 	return blockers
 }
 
-// anyAbortedLocked reports whether any of the transactions is marked
-// aborted. Caller holds m.mu.
-func (m *Manager) anyAbortedLocked(ids map[TxnID]bool) bool {
+// anySettlingLocked reports whether any of the transactions is aborted
+// or ending — i.e. its locks are about to be released. Caller holds
+// the registry mutex.
+func (m *Manager) anySettlingLocked(ids map[TxnID]bool) bool {
 	for id := range ids {
-		if tx := m.txns[id]; tx != nil && tx.aborted {
+		tx := m.reg.txns[id]
+		if tx == nil || tx.aborted || tx.ending {
 			return true
 		}
 	}
@@ -342,7 +433,7 @@ func (m *Manager) anyAbortedLocked(ids map[TxnID]bool) bool {
 
 // findDeadlockVictimLocked looks for a waits-for cycle through id and
 // returns the youngest transaction in the cycle, or 0 if none. Caller
-// holds m.mu.
+// holds the registry mutex.
 func (m *Manager) findDeadlockVictimLocked(id TxnID) TxnID {
 	// DFS from id following waitsOn edges; a path back to id is a cycle.
 	var path []TxnID
@@ -365,7 +456,7 @@ func (m *Manager) findDeadlockVictimLocked(id TxnID) TxnID {
 			return false
 		}
 		visited[cur] = true
-		tx := m.txns[cur]
+		tx := m.reg.txns[cur]
 		if tx == nil || tx.aborted {
 			return false
 		}
@@ -392,34 +483,49 @@ func (m *Manager) findDeadlockVictimLocked(id TxnID) TxnID {
 	return victim
 }
 
+// wakeAllAsync broadcasts every shard's condition variable from a
+// fresh goroutine. Taking each shard mutex first guarantees a waiter
+// that has not yet parked re-checks its abort flag before sleeping, so
+// the wakeup cannot be lost; doing it off-thread keeps the caller free
+// to hold any combination of shard and registry mutexes.
+func (m *Manager) wakeAllAsync() {
+	go func() {
+		for _, s := range m.shards {
+			s.mu.Lock()
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}()
+}
+
 // abortLocked marks a transaction aborted and wakes waiters. The
 // transaction's locks remain held until End is called (the owner must
-// roll back first). Caller holds m.mu.
+// roll back first). Caller holds the registry mutex.
 func (m *Manager) abortLocked(id TxnID, err error) {
-	tx := m.txns[id]
+	tx := m.reg.txns[id]
 	if tx == nil || tx.aborted {
 		return
 	}
 	tx.aborted = true
 	tx.abortErr = err
 	tx.waitsOn = nil
-	m.stats.Aborts++
-	m.cond.Broadcast()
+	m.reg.aborts++
+	m.wakeAllAsync()
 }
 
 // Abort marks the transaction aborted: a pending or future Acquire by
 // it returns ErrAborted. Its locks stay held until End.
 func (m *Manager) Abort(id TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.reg.Lock()
+	defer m.reg.Unlock()
 	m.abortLocked(id, ErrAborted)
 }
 
 // Aborted reports whether the transaction has been marked aborted.
 func (m *Manager) Aborted(id TxnID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx := m.txns[id]
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	tx := m.reg.txns[id]
 	return tx != nil && tx.aborted
 }
 
@@ -428,13 +534,25 @@ func (m *Manager) Aborted(id TxnID) bool {
 // forced to abort when this transaction commits first (Section 4.3,
 // rule (ii)). It is only meaningful under SchemeRcRaWa; under 2PL the
 // conflict cannot arise and the result is always empty.
+//
+// The scan is atomic per class: while the transaction holds Wa on a
+// resource, no new Rc can be granted on it (Table 4.1), so scanning
+// each class's shard under its own mutex loses no victim.
 func (m *Manager) RcVictims(id TxnID) []TxnID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx := m.txns[id]
+	m.reg.Lock()
+	tx := m.reg.txns[id]
 	if tx == nil {
+		m.reg.Unlock()
 		return nil
 	}
+	waRes := make([]Resource, 0, len(tx.held))
+	for res, mode := range tx.held {
+		if mode == Wa {
+			waRes = append(waRes, res)
+		}
+	}
+	m.reg.Unlock()
+
 	victims := make(map[TxnID]bool)
 	scan := func(e *entry) {
 		if e == nil {
@@ -446,18 +564,24 @@ func (m *Manager) RcVictims(id TxnID) []TxnID {
 			}
 		}
 	}
-	for res, mode := range tx.held {
-		if mode != Wa {
-			continue
-		}
-		scan(m.entries[res])
-		if res.ID == RelationLevel {
-			for _, e := range m.byClass[res.Class] {
-				scan(e)
+	byShard := make(map[*shard][]Resource)
+	for _, res := range waRes {
+		s := m.shardFor(res.Class)
+		byShard[s] = append(byShard[s], res)
+	}
+	for s, rs := range byShard {
+		s.mu.Lock()
+		for _, res := range rs {
+			scan(s.entries[res])
+			if res.ID == RelationLevel {
+				for _, e := range s.byClass[res.Class] {
+					scan(e)
+				}
+			} else {
+				scan(s.entries[Relation(res.Class)])
 			}
-		} else {
-			scan(m.entries[Relation(res.Class)])
 		}
+		s.mu.Unlock()
 	}
 	out := make([]TxnID, 0, len(victims))
 	for v := range victims {
@@ -470,40 +594,55 @@ func (m *Manager) RcVictims(id TxnID) []TxnID {
 // End releases all of the transaction's locks and forgets it. It is
 // called at commit and after abort rollback.
 func (m *Manager) End(id TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx := m.txns[id]
+	m.reg.Lock()
+	tx := m.reg.txns[id]
 	if tx == nil {
+		m.reg.Unlock()
 		return
 	}
+	tx.ending = true
+	byShard := make(map[*shard][]Resource)
 	for res := range tx.held {
-		e := m.entries[res]
-		if e == nil {
-			continue
-		}
-		delete(e.holders, id)
-		if len(e.holders) == 0 {
-			delete(m.entries, res)
-			if res.ID != RelationLevel {
-				if cls := m.byClass[res.Class]; cls != nil {
-					delete(cls, res.ID)
-					if len(cls) == 0 {
-						delete(m.byClass, res.Class)
+		s := m.shardFor(res.Class)
+		byShard[s] = append(byShard[s], res)
+	}
+	m.reg.Unlock()
+
+	for s, rs := range byShard {
+		s.mu.Lock()
+		for _, res := range rs {
+			e := s.entries[res]
+			if e == nil {
+				continue
+			}
+			delete(e.holders, id)
+			if len(e.holders) == 0 {
+				delete(s.entries, res)
+				if res.ID != RelationLevel {
+					if cls := s.byClass[res.Class]; cls != nil {
+						delete(cls, res.ID)
+						if len(cls) == 0 {
+							delete(s.byClass, res.Class)
+						}
 					}
 				}
 			}
 		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
 	}
-	delete(m.txns, id)
-	m.cond.Broadcast()
+
+	m.reg.Lock()
+	delete(m.reg.txns, id)
+	m.reg.Unlock()
 }
 
 // Held returns the modes the transaction currently holds, for tests
 // and diagnostics.
 func (m *Manager) Held(id TxnID) map[Resource]Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	tx := m.txns[id]
+	m.reg.Lock()
+	defer m.reg.Unlock()
+	tx := m.reg.txns[id]
 	if tx == nil {
 		return nil
 	}
@@ -514,9 +653,20 @@ func (m *Manager) Held(id TxnID) map[Resource]Mode {
 	return out
 }
 
-// Stats returns a snapshot of the manager's counters.
+// Stats returns a snapshot of the manager's counters, including the
+// per-shard acquire/wait counts.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	st := Stats{Shards: make([]ShardStats, len(m.shards))}
+	for i, s := range m.shards {
+		s.mu.Lock()
+		st.Shards[i] = ShardStats{Acquired: s.acquired, Waits: s.waits}
+		s.mu.Unlock()
+		st.Acquired += st.Shards[i].Acquired
+		st.Waits += st.Shards[i].Waits
+	}
+	m.reg.Lock()
+	st.Deadlocks = m.reg.deadlocks
+	st.Aborts = m.reg.aborts
+	m.reg.Unlock()
+	return st
 }

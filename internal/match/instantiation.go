@@ -61,13 +61,48 @@ func (in *Instantiation) String() string {
 
 // ConflictSet is the set of active instantiations (the paper's P^A).
 // It is not safe for concurrent use; engines serialise access to it.
+//
+// With change tracking enabled the set additionally journals every
+// membership change, so an engine can dispatch newly activated
+// instantiations incrementally instead of rescanning the whole set
+// after each commit. Tracking is off by default — serial engines never
+// drain the journal and must not accumulate one.
 type ConflictSet struct {
 	byKey map[string]*Instantiation
+
+	track   bool
+	added   []*Instantiation
+	removed []string
 }
 
 // NewConflictSet returns an empty conflict set.
 func NewConflictSet() *ConflictSet {
 	return &ConflictSet{byKey: make(map[string]*Instantiation)}
+}
+
+// TrackChanges switches membership journaling on or off. Switching it
+// on while the set is populated journals the current members as added,
+// so the first TakeChanges drain sees them.
+func (cs *ConflictSet) TrackChanges(on bool) {
+	if on && !cs.track {
+		for _, in := range cs.byKey {
+			cs.added = append(cs.added, in)
+		}
+	}
+	cs.track = on
+	if !on {
+		cs.added, cs.removed = nil, nil
+	}
+}
+
+// TakeChanges drains the journal: instantiations added and keys removed
+// since the last drain. The journal records raw events, not the net
+// effect — a key may appear in both lists; consult Contains for the
+// final state.
+func (cs *ConflictSet) TakeChanges() (added []*Instantiation, removed []string) {
+	added, removed = cs.added, cs.removed
+	cs.added, cs.removed = nil, nil
+	return added, removed
 }
 
 // Add inserts an instantiation; it reports whether it was new.
@@ -77,6 +112,9 @@ func (cs *ConflictSet) Add(in *Instantiation) bool {
 		return false
 	}
 	cs.byKey[k] = in
+	if cs.track {
+		cs.added = append(cs.added, in)
+	}
 	return true
 }
 
@@ -87,6 +125,9 @@ func (cs *ConflictSet) Remove(key string) bool {
 		return false
 	}
 	delete(cs.byKey, key)
+	if cs.track {
+		cs.removed = append(cs.removed, key)
+	}
 	return true
 }
 
@@ -98,6 +139,9 @@ func (cs *ConflictSet) RemoveUsing(w *wm.WME) []*Instantiation {
 		if in.Uses(w) {
 			removed = append(removed, in)
 			delete(cs.byKey, k)
+			if cs.track {
+				cs.removed = append(cs.removed, k)
+			}
 		}
 	}
 	return removed

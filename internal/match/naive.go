@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"sort"
 
 	"pdps/internal/wm"
 )
@@ -26,6 +27,16 @@ type Matcher interface {
 	// ConflictSet returns the current conflict set. The returned set is
 	// owned by the matcher; callers must not retain it across updates.
 	ConflictSet() *ConflictSet
+}
+
+// ChangeTracker is implemented by matchers whose conflict sets journal
+// membership changes (ConflictSet.TrackChanges) between ConflictSet
+// calls. Engines that dispatch incrementally enable tracking and drain
+// the journal with TakeChanges after each commit; matchers that
+// rebuild the set from scratch journal the full membership, which the
+// drain protocol detects and reconciles.
+type ChangeTracker interface {
+	TrackChanges(on bool)
 }
 
 // MatchRule computes all instantiations of a rule against a view. It
@@ -116,6 +127,7 @@ func testCE(c Condition, w *wm.WME, b Bindings) (Bindings, bool) {
 type Naive struct {
 	rules   []*Rule
 	byClass map[string]map[int64]*wm.WME
+	track   bool
 }
 
 // NewNaive returns an empty naive matcher.
@@ -165,9 +177,15 @@ func (n *Naive) ByClass(class string) []*wm.WME {
 	return out
 }
 
+// TrackChanges marks the conflict sets this matcher builds as
+// journaling. Each build is from scratch, so the journal holds the
+// full membership — the snapshot case of the TakeChanges protocol.
+func (n *Naive) TrackChanges(on bool) { n.track = on }
+
 // ConflictSet recomputes the full conflict set.
 func (n *Naive) ConflictSet() *ConflictSet {
 	cs := NewConflictSet()
+	cs.track = n.track
 	for _, r := range n.rules {
 		for _, in := range MatchRule(n, r) {
 			cs.Add(in)
@@ -177,9 +195,5 @@ func (n *Naive) ConflictSet() *ConflictSet {
 }
 
 func sortByID(ws []*wm.WME) {
-	for i := 1; i < len(ws); i++ {
-		for j := i; j > 0 && ws[j].ID < ws[j-1].ID; j-- {
-			ws[j], ws[j-1] = ws[j-1], ws[j]
-		}
-	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
 }

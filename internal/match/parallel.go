@@ -17,6 +17,7 @@ type ShardedMatcher struct {
 	shards []Matcher
 	names  map[string]bool
 	next   int
+	track  bool
 }
 
 // NewSharded builds a sharded matcher over n inner matchers produced
@@ -78,6 +79,19 @@ func (s *ShardedMatcher) broadcast(f func(Matcher)) {
 	wg.Wait()
 }
 
+// TrackChanges enables journaling on the conflict sets this matcher
+// returns. The merged set is rebuilt per call, so its journal holds
+// the full membership (the snapshot case of the TakeChanges protocol);
+// with a single shard the request is forwarded to the inner matcher.
+func (s *ShardedMatcher) TrackChanges(on bool) {
+	s.track = on
+	if len(s.shards) == 1 {
+		if t, ok := s.shards[0].(ChangeTracker); ok {
+			t.TrackChanges(on)
+		}
+	}
+}
+
 // ConflictSet computes every shard's conflict set concurrently and
 // merges them.
 func (s *ShardedMatcher) ConflictSet() *ConflictSet {
@@ -95,6 +109,7 @@ func (s *ShardedMatcher) ConflictSet() *ConflictSet {
 	}
 	wg.Wait()
 	merged := NewConflictSet()
+	merged.track = s.track
 	for _, cs := range sets {
 		for _, in := range cs.All() {
 			merged.Add(in)

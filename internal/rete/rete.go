@@ -329,6 +329,10 @@ func (n *Network) registerJoinResult(owner *token, w *wm.WME) {
 // ConflictSet returns the live conflict set.
 func (n *Network) ConflictSet() *match.ConflictSet { return n.cs }
 
+// TrackChanges enables membership journaling on the live conflict set,
+// which this network maintains incrementally.
+func (n *Network) TrackChanges(on bool) { n.cs.TrackChanges(on) }
+
 // Insert adds a WME version to the network and propagates matches.
 func (n *Network) Insert(w *wm.WME) {
 	if n.wmes[w] {

@@ -25,6 +25,42 @@ func (c *Counter) Inc() { c.Add(1) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.n) }
 
+// Gauge is an atomic level indicator that also remembers its peak.
+// The dynamic engine uses gauges to expose the depths of its commit
+// pipeline's queues.
+type Gauge struct {
+	cur int64
+	max int64
+}
+
+// Set records the current level and raises the peak if exceeded.
+func (g *Gauge) Set(v int64) {
+	atomic.StoreInt64(&g.cur, v)
+	g.raise(v)
+}
+
+// Add moves the level by d and returns the new value.
+func (g *Gauge) Add(d int64) int64 {
+	v := atomic.AddInt64(&g.cur, d)
+	g.raise(v)
+	return v
+}
+
+func (g *Gauge) raise(v int64) {
+	for {
+		m := atomic.LoadInt64(&g.max)
+		if v <= m || atomic.CompareAndSwapInt64(&g.max, m, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.cur) }
+
+// Peak returns the highest level ever set.
+func (g *Gauge) Peak() int64 { return atomic.LoadInt64(&g.max) }
+
 // Histogram is a power-of-two bucketed duration histogram: bucket i
 // holds samples in [2^i, 2^(i+1)) microseconds. The zero value is
 // ready to use.

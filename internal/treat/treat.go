@@ -75,6 +75,10 @@ func (m *Matcher) AddRule(r *match.Rule) error {
 // ConflictSet returns the live conflict set.
 func (m *Matcher) ConflictSet() *match.ConflictSet { return m.cs }
 
+// TrackChanges enables membership journaling on the live conflict set,
+// which this matcher maintains incrementally.
+func (m *Matcher) TrackChanges(on bool) { m.cs.TrackChanges(on) }
+
 // Insert adds a WME version and updates the conflict set: new
 // instantiations through each positive CE the WME enters, and retracted
 // instantiations whose negated CEs the WME now satisfies.

@@ -25,23 +25,16 @@ const (
 // WriteSnapshot serialises the store's current contents, including the
 // ID and recency counters, so recovery continues the same sequences.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
-	writeU64(bw, uint64(s.nextID))
-	writeU64(bw, s.clock)
-	writeU64(bw, uint64(len(s.byID)))
-	// Deterministic order: by ID.
-	ids := make([]int64, 0, len(s.byID))
-	for id := range s.byID {
-		ids = append(ids, id)
-	}
-	sortIDs(ids)
-	for _, id := range ids {
-		if err := writeWME(bw, s.byID[id]); err != nil {
+	all := s.All() // deterministic order: by ID
+	writeU64(bw, uint64(s.nextID.Load()))
+	writeU64(bw, s.clock.Load())
+	writeU64(bw, uint64(len(all)))
+	for _, wme := range all {
+		if err := writeWME(bw, wme); err != nil {
 			return err
 		}
 	}
@@ -71,14 +64,14 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.nextID = int64(nextID)
-	s.clock = clock
+	s.nextID.Store(int64(nextID))
+	s.clock.Store(clock)
 	for i := uint64(0); i < count; i++ {
 		w, err := readWME(br)
 		if err != nil {
 			return nil, fmt.Errorf("wm: snapshot WME %d: %w", i, err)
 		}
-		s.addLocked(w)
+		s.add(w)
 	}
 	return s, nil
 }
@@ -174,10 +167,9 @@ func ReplayWAL(r io.Reader, s *Store) (int, error) {
 }
 
 // applyWALRecord re-applies a logged delta exactly (preserving IDs and
-// time tags rather than re-assigning them).
+// time tags rather than re-assigning them). Recovery is sequential, so
+// the high-water counter updates need no compare-and-swap loop.
 func (s *Store) applyWALRecord(body []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	p := &byteReader{b: body}
 	nRem, err := p.u64()
 	if err != nil {
@@ -191,11 +183,9 @@ func (s *Store) applyWALRecord(body []byte) error {
 		if _, err := p.u64(); err != nil { // timetag, informational
 			return err
 		}
-		w, ok := s.byID[int64(id)]
-		if !ok {
+		if _, ok := s.Remove(int64(id)); !ok {
 			return fmt.Errorf("remove of absent WME %d", id)
 		}
-		s.removeLocked(w)
 	}
 	nAdd, err := p.u64()
 	if err != nil {
@@ -206,12 +196,12 @@ func (s *Store) applyWALRecord(body []byte) error {
 		if err != nil {
 			return err
 		}
-		s.addLocked(w)
-		if w.ID > s.nextID {
-			s.nextID = w.ID
+		s.add(w)
+		if w.ID > s.nextID.Load() {
+			s.nextID.Store(w.ID)
 		}
-		if w.TimeTag > s.clock {
-			s.clock = w.TimeTag
+		if w.TimeTag > s.clock.Load() {
+			s.clock.Store(w.TimeTag)
 		}
 	}
 	return nil
@@ -433,10 +423,3 @@ func readValue(br *bufio.Reader) (Value, error) {
 	return Value{}, fmt.Errorf("wm: unknown value kind %d", kind)
 }
 
-func sortIDs(ids []int64) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-}

@@ -88,18 +88,24 @@ func (ix *Index) remove(w *WME) {
 
 // CreateIndex builds (or returns the existing) index on (class, attr),
 // back-filled from current contents and maintained on every change.
+// The class's shard lock is held across registration and back-fill so
+// no concurrent mutation of the class is missed (lock order:
+// shard.mu → ixMu, matching the notify paths).
 func (s *Store) CreateIndex(class, attr string) (*Index, error) {
 	if class == "" || attr == "" {
 		return nil, fmt.Errorf("wm: index needs class and attribute")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shardFor(class)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s.ixMu.Lock()
+	defer s.ixMu.Unlock()
 	key := class + "^" + attr
 	if ix, ok := s.indexes[key]; ok {
 		return ix, nil
 	}
 	ix := &Index{class: class, attr: attr, buckets: make(map[Value][]*WME)}
-	for _, w := range s.byClass[class] {
+	for _, w := range sh.byClass[class] {
 		ix.add(w)
 	}
 	if s.indexes == nil {
@@ -111,8 +117,8 @@ func (s *Store) CreateIndex(class, attr string) (*Index, error) {
 
 // Indexes returns the store's indexes, sorted by class then attribute.
 func (s *Store) Indexes() []*Index {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.ixMu.RLock()
+	defer s.ixMu.RUnlock()
 	out := make([]*Index, 0, len(s.indexes))
 	for _, ix := range s.indexes {
 		out = append(out, ix)
@@ -126,16 +132,20 @@ func (s *Store) Indexes() []*Index {
 	return out
 }
 
-// notifyIndexesAdd/Remove are called with s.mu held; index maintenance
-// takes each index's own lock, so readers of one index never block the
-// whole store.
+// notifyIndexesAdd/Remove are called with the mutated class's shard
+// lock held; index maintenance takes each index's own lock, so readers
+// of one index never block the whole store.
 func (s *Store) notifyIndexesAdd(w *WME) {
+	s.ixMu.RLock()
+	defer s.ixMu.RUnlock()
 	for _, ix := range s.indexes {
 		ix.add(w)
 	}
 }
 
 func (s *Store) notifyIndexesRemove(w *WME) {
+	s.ixMu.RLock()
+	defer s.ixMu.RUnlock()
 	for _, ix := range s.indexes {
 		ix.remove(w)
 	}

@@ -182,9 +182,15 @@ const (
 // (Table 4.1 for SchemeRcRaWa).
 var LockCompatible = lock.Compatible
 
-// LockStats carries the lock manager's counters; the dynamic engine
-// exposes them through its LockStats method.
+// LockStats carries the lock manager's counters, including per-shard
+// acquire/wait counts; the dynamic engine exposes them through its
+// LockStats method.
 type LockStats = lock.Stats
+
+// PipelineStats carries the dynamic engine's commit-pipeline queue
+// depths (dispatch and submit, with peaks); the dynamic engine exposes
+// them through its PipelineStats method.
+type PipelineStats = engine.PipelineStats
 
 // DeadlockPolicy selects the dynamic engine's deadlock handling.
 type DeadlockPolicy = lock.DeadlockPolicy
