@@ -1,0 +1,96 @@
+package pdps_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdps"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenCases are the programs whose single-thread commit traces are
+// pinned: the examples/ programs (extracted to testdata/examples) and
+// the integration programs. The single-thread engine is deterministic
+// under a deterministic strategy, so any trace change is a semantic
+// change and must be reviewed by regenerating with -update.
+func goldenCases() []struct{ file, strategy string } {
+	return []struct{ file, strategy string }{
+		{"examples/quickstart.ops", ""},
+		{"examples/diagnosis.ops", "priority"},
+		{"examples/manufacturing.ops", ""},
+		{"examples/persistence.ops", ""},
+		{"towers.ops", ""},
+		{"fibonacci.ops", ""},
+		{"routing.ops", ""},
+		{"escalation.ops", "priority"},
+	}
+}
+
+// renderCommits flattens the commit subsequence: one line per commit,
+// rule name plus the content fingerprints of the matched tuples.
+func renderCommits(log *pdps.TraceLog) string {
+	var b strings.Builder
+	for _, ev := range log.Commits() {
+		fmt.Fprintf(&b, "%s | %s\n", ev.Rule, strings.Join(ev.WMEs, ", "))
+	}
+	return b.String()
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for _, tc := range goldenCases() {
+		name := strings.TrimSuffix(strings.ReplaceAll(tc.file, "/", "_"), ".ops")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := pdps.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := pdps.Options{Verify: true}
+			if tc.strategy != "" {
+				s, err := pdps.NewStrategy(tc.strategy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Strategy = s
+			}
+			eng, err := pdps.NewSingleEngine(prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+				t.Fatal(err)
+			}
+			got := renderCommits(res.Log)
+			goldenPath := filepath.Join("testdata", "golden", name+".trace")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (regenerate with go test -run TestGoldenTraces -update)", err)
+			}
+			if got != string(want) {
+				t.Fatalf("commit trace diverged from %s (regenerate with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package detsched is the deterministic schedule-exploration harness
+// for the dynamic engines: it runs the Parallel engine under the
+// internal/sched controller so a whole concurrent run — worker
+// interleavings, lock waits, abort-backoff timers — is a pure function
+// of a scheduling policy, then checks every commit trace against the
+// single-thread execution semantics with engine.CheckTrace
+// (Definition 3.2: the trace must be a root-originating path of the
+// single-thread execution graph, ES_M ⊆ ES_single).
+//
+// Three drivers sit on top of one another:
+//
+//   - Run: one schedule, chosen by a policy (seeded random walk,
+//     PCT-style priority sampling, or a scripted replay). Same policy
+//     seed ⇒ bit-for-bit the same trace.
+//   - Explore: stateless depth-first enumeration of every schedule for
+//     small programs and Np, by replaying recorded decision prefixes
+//     with the last decision bumped — the exhaustive check that every
+//     producible trace is admissible.
+//   - Fuzz (fuzz.go): metamorphic fuzzing over generated programs ×
+//     engine configurations × schedule seeds, with shrinking of
+//     failures to minimal reproducers.
+package detsched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pdps/internal/engine"
+	"pdps/internal/lock"
+	"pdps/internal/sched"
+	"pdps/internal/trace"
+)
+
+// Config selects the engine variant a deterministic run tests.
+type Config struct {
+	// Scheme is the locking scheme (lock.Scheme2PL or lock.SchemeRcRaWa).
+	Scheme lock.Scheme
+	// Np is the worker count; 0 means 2 (exploration-friendly).
+	Np int
+	// Matcher is the match algorithm; "" means rete.
+	Matcher string
+	// Deadlock is the lock manager's deadlock policy.
+	Deadlock lock.DeadlockPolicy
+	// Abort is the Rc-victim policy.
+	Abort engine.AbortPolicy
+	// MaxFirings bounds commits; 0 means the engine default.
+	MaxFirings int
+	// CondDelay/RuleDelay simulate per-rule costs on the virtual clock.
+	CondDelay map[string]time.Duration
+	// RuleDelay simulates per-rule action cost on the virtual clock.
+	RuleDelay map[string]time.Duration
+	// MaxDecisions bounds scheduling decisions per run (a runaway
+	// backstop); 0 means 1<<16.
+	MaxDecisions int
+}
+
+func (c Config) np() int {
+	if c.Np == 0 {
+		return 2
+	}
+	return c.Np
+}
+
+func (c Config) maxDecisions() int {
+	if c.MaxDecisions == 0 {
+		return 1 << 16
+	}
+	return c.MaxDecisions
+}
+
+// String renders the configuration compactly for failure reports.
+func (c Config) String() string {
+	m := c.Matcher
+	if m == "" {
+		m = "rete"
+	}
+	return fmt.Sprintf("scheme=%s np=%d matcher=%s deadlock=%s abort=%s",
+		c.Scheme, c.np(), m, c.Deadlock, c.Abort)
+}
+
+// RunOutcome is one deterministic run's result.
+type RunOutcome struct {
+	// Result is the engine's summary (trace log included).
+	Result engine.Result
+	// Err is the engine's error, if any (e.g. ErrInconsistent).
+	Err error
+	// SchedErr is the controller's verdict: nil, sched.ErrBudget, a
+	// *sched.StallError, or a surfaced task panic.
+	SchedErr error
+	// Choices is the recorded decision sequence; replaying it through
+	// sched.NewReplay reproduces the schedule exactly.
+	Choices []sched.Choice
+}
+
+// Commits returns the outcome's commit events.
+func (o RunOutcome) Commits() []trace.Event {
+	if o.Result.Log == nil {
+		return nil
+	}
+	return o.Result.Log.Commits()
+}
+
+// Run executes the program once on the Parallel engine under the
+// scheduling policy and returns the outcome. The run is deterministic:
+// the policy's decisions are the only source of scheduling freedom,
+// and time is virtual.
+func Run(p engine.Program, cfg Config, policy sched.Policy) RunOutcome {
+	ctl := sched.NewDet(policy)
+	ctl.MaxSteps = cfg.maxDecisions()
+	opts := engine.Options{
+		Matcher:     cfg.Matcher,
+		Np:          cfg.np(),
+		Deadlock:    cfg.Deadlock,
+		AbortPolicy: cfg.Abort,
+		MaxFirings:  cfg.MaxFirings,
+		CondDelay:   cfg.CondDelay,
+		RuleDelay:   cfg.RuleDelay,
+		Sched:       ctl,
+	}
+	eng, err := engine.NewParallel(p, cfg.Scheme, opts)
+	if err != nil {
+		return RunOutcome{Err: err}
+	}
+	var res engine.Result
+	var rerr error
+	serr := ctl.Run(func() {
+		res, rerr = eng.Run()
+	})
+	return RunOutcome{Result: res, Err: rerr, SchedErr: serr, Choices: ctl.Choices()}
+}
+
+// Check validates an outcome: the schedule must have completed, the
+// engine must not have erred, and the commit trace must pass
+// engine.CheckTrace against the program.
+func Check(p engine.Program, out RunOutcome) error {
+	if out.SchedErr != nil {
+		return fmt.Errorf("detsched: schedule did not complete: %w", out.SchedErr)
+	}
+	if out.Err != nil {
+		return fmt.Errorf("detsched: engine error: %w", out.Err)
+	}
+	return engine.CheckTrace(p, out.Commits())
+}
+
+// SeqKey canonicalises a commit trace to its serialization: the
+// ordered list of rule names with the content fingerprints of the
+// matched tuples. Two runs with equal SeqKey committed the same
+// logical sequence.
+func SeqKey(commits []trace.Event) string {
+	var b strings.Builder
+	for i, ev := range commits {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(ev.Rule)
+		b.WriteByte('[')
+		b.WriteString(strings.Join(ev.WMEs, ","))
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// ExploreReport summarises an exhaustive exploration.
+type ExploreReport struct {
+	// Schedules is the number of distinct schedules executed.
+	Schedules int
+	// Serializations maps each distinct commit sequence (SeqKey) to
+	// the number of schedules that produced it — the slice of ES_M the
+	// mechanism actually realises.
+	Serializations map[string]int
+	// Truncated reports that MaxSchedules stopped the walk early.
+	Truncated bool
+}
+
+// Explore enumerates every schedule of the program under the
+// configuration by stateless depth-first search over the decision
+// tree: each iteration replays a recorded prefix with its last
+// incrementable decision bumped, so no scheduler state survives
+// between runs. Every trace is checked with engine.CheckTrace; the
+// first violation aborts the walk with an error that carries the
+// reproducing decision script. maxSchedules 0 means unbounded.
+func Explore(p engine.Program, cfg Config, maxSchedules int) (ExploreReport, error) {
+	rep := ExploreReport{Serializations: make(map[string]int)}
+	var prefix []int
+	for {
+		out := Run(p, cfg, sched.NewReplay(prefix))
+		rep.Schedules++
+		if err := Check(p, out); err != nil {
+			return rep, fmt.Errorf("schedule %v: %w", prefix, err)
+		}
+		rep.Serializations[SeqKey(out.Commits())]++
+		if maxSchedules > 0 && rep.Schedules >= maxSchedules {
+			if nextPrefix(out.Choices) != nil {
+				rep.Truncated = true
+			}
+			return rep, nil
+		}
+		prefix = nextPrefix(out.Choices)
+		if prefix == nil {
+			return rep, nil
+		}
+	}
+}
+
+// nextPrefix computes the depth-first successor of a recorded decision
+// sequence: the longest prefix whose last decision can be bumped, or
+// nil when the tree is exhausted.
+func nextPrefix(choices []sched.Choice) []int {
+	i := len(choices) - 1
+	for ; i >= 0; i-- {
+		if choices[i].Picked < choices[i].N-1 {
+			break
+		}
+	}
+	if i < 0 {
+		return nil
+	}
+	out := make([]int, i+1)
+	for j := 0; j < i; j++ {
+		out[j] = choices[j].Picked
+	}
+	out[i] = choices[i].Picked + 1
+	return out
+}

@@ -51,21 +51,20 @@ func spareProgram() Program {
 	}
 }
 
-func runSpare(t *testing.T, policy AbortPolicy) Result {
+func runSpare(t *testing.T, policy AbortPolicy, seed int64) Result {
 	t.Helper()
-	e, err := NewParallel(spareProgram(), lock.SchemeRcRaWa, Options{
+	// Virtual delays under the deterministic scheduler: the producer
+	// commits at t=5ms while the reader sleeps until t=40ms, so on
+	// every schedule the commit lands mid-action with the reader's Rc
+	// locks held — the rule (ii) victim scenario, without wall-clock
+	// racing.
+	res, err := runUnderScheduler(t, spareProgram(), lock.SchemeRcRaWa, Options{
 		Np:          2,
 		AbortPolicy: policy,
 		Verify:      true,
-		// The reader holds its Rc locks long enough for the producer's
-		// commit (at ~5ms) to land mid-action.
-		RuleDelay: map[string]time.Duration{"reader": 40 * time.Millisecond},
-		CondDelay: map[string]time.Duration{"producer": 5 * time.Millisecond},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := e.Run()
+		RuleDelay:   map[string]time.Duration{"reader": 40 * time.Millisecond},
+		CondDelay:   map[string]time.Duration{"producer": 5 * time.Millisecond},
+	}, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +73,7 @@ func runSpare(t *testing.T, policy AbortPolicy) Result {
 	}
 	// Both rules commit exactly once in the end.
 	if res.Firings != 2 {
-		t.Fatalf("firings = %d, want 2", res.Firings)
+		t.Fatalf("seed %d: firings = %d, want 2", seed, res.Firings)
 	}
 	return res
 }
@@ -83,18 +82,23 @@ func runSpare(t *testing.T, policy AbortPolicy) Result {
 // reader is aborted by the producer's commit even though its condition
 // still holds, and must re-run.
 func TestAbortPolicyAlwaysKillsSurvivableVictim(t *testing.T) {
-	res := runSpare(t, AbortAlways)
-	if res.Aborts == 0 {
-		t.Fatalf("expected the reader to be aborted at least once; trace: %v", res.Log.Events())
+	for seed := int64(0); seed < 3; seed++ {
+		res := runSpare(t, AbortAlways, seed)
+		if res.Aborts == 0 {
+			t.Fatalf("seed %d: expected the reader to be aborted at least once; trace: %v",
+				seed, res.Log.Events())
+		}
 	}
 }
 
 // TestAbortPolicyReevaluateSparesSurvivableVictim: the alternative
 // policy re-checks the victim's condition and spares it.
 func TestAbortPolicyReevaluateSparesSurvivableVictim(t *testing.T) {
-	res := runSpare(t, AbortReevaluate)
-	if res.Aborts != 0 {
-		t.Fatalf("reevaluate policy aborted a survivable victim %d times; trace: %v",
-			res.Aborts, res.Log.Events())
+	for seed := int64(0); seed < 3; seed++ {
+		res := runSpare(t, AbortReevaluate, seed)
+		if res.Aborts != 0 {
+			t.Fatalf("seed %d: reevaluate policy aborted a survivable victim %d times; trace: %v",
+				seed, res.Aborts, res.Log.Events())
+		}
 	}
 }

@@ -6,8 +6,30 @@ import (
 
 	"pdps/internal/lock"
 	"pdps/internal/match"
+	"pdps/internal/sched"
 	"pdps/internal/wm"
 )
+
+// runUnderScheduler executes the Parallel engine deterministically: the
+// controller virtualises every sleep and lock wait, so the CondDelay /
+// RuleDelay relationships hold exactly in virtual time and the run is a
+// pure function of the seed — no wall-clock flakiness.
+func runUnderScheduler(t *testing.T, prog Program, scheme lock.Scheme, opts Options, seed int64) (Result, error) {
+	t.Helper()
+	ctl := sched.NewDet(sched.NewRandom(seed))
+	ctl.MaxSteps = 1 << 16
+	opts.Sched = ctl
+	e, err := NewParallel(prog, scheme, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	var rerr error
+	if serr := ctl.Run(func() { res, rerr = e.Run() }); serr != nil {
+		t.Fatalf("schedule did not complete: %v", serr)
+	}
+	return res, rerr
+}
 
 // fig44Program is the circular Rc/Wa dependency of Figure 4.4.
 func fig44Program() Program {
@@ -42,27 +64,27 @@ func TestParallelDeadlockPolicies(t *testing.T) {
 	}
 	for _, policy := range policies {
 		t.Run(policy.String(), func(t *testing.T) {
-			prog := fig44Program()
-			e, err := NewParallel(prog, lock.Scheme2PL, Options{
-				Np:       2,
-				Deadlock: policy,
-				Verify:   true,
-				CondDelay: map[string]time.Duration{
-					"pi": 5 * time.Millisecond, "pj": 5 * time.Millisecond,
-				},
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := e.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.Firings != 1 {
-				t.Fatalf("firings = %d, want 1\n%v", res.Firings, res.Log.Events())
-			}
-			if err := CheckTrace(prog, res.Log.Commits()); err != nil {
-				t.Fatal(err)
+			for seed := int64(0); seed < 3; seed++ {
+				prog := fig44Program()
+				res, err := runUnderScheduler(t, prog, lock.Scheme2PL, Options{
+					Np:       2,
+					Deadlock: policy,
+					Verify:   true,
+					// Equal virtual condition costs: both workers hold their
+					// Rc locks at the same instant, forcing the cross-request.
+					CondDelay: map[string]time.Duration{
+						"pi": 5 * time.Millisecond, "pj": 5 * time.Millisecond,
+					},
+				}, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Firings != 1 {
+					t.Fatalf("seed %d: firings = %d, want 1\n%v", seed, res.Firings, res.Log.Events())
+				}
+				if err := CheckTrace(prog, res.Log.Commits()); err != nil {
+					t.Fatal(err)
+				}
 			}
 		})
 	}

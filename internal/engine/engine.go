@@ -18,6 +18,7 @@ import (
 	"pdps/internal/lock"
 	"pdps/internal/match"
 	"pdps/internal/rete"
+	"pdps/internal/sched"
 	"pdps/internal/trace"
 	"pdps/internal/treat"
 	"pdps/internal/wm"
@@ -98,6 +99,18 @@ type Options struct {
 	// requesting the Ra/Wa locks, widening the window in which Rc
 	// locks are held alone (the window Figures 4.3–4.4 reason about).
 	CondDelay map[string]time.Duration
+	// Clock supplies time to the engine: abort-backoff timers, the
+	// simulated CondDelay/RuleDelay costs and latency measurement all
+	// go through it. Nil means the wall clock (sched.Real); inject
+	// sched.Immediate to collapse every delay in tests.
+	Clock sched.Clock
+	// Sched, when non-nil, runs the dynamic engine under a
+	// deterministic cooperative scheduler: all engine goroutines become
+	// controlled tasks, lock waits and backoff timers are virtualised,
+	// and the interleaving is decided by the controller's policy.
+	// Engine.Run must then be called from inside the controller's Run.
+	// Sched overrides Clock.
+	Sched sched.Controller
 	// Log receives events; nil means a fresh log.
 	Log *trace.Log
 	// WAL, when non-nil, receives every committed working-memory delta
@@ -127,6 +140,11 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Np == 0 {
 		out.Np = 4
+	}
+	if out.Sched != nil {
+		out.Clock = out.Sched
+	} else if out.Clock == nil {
+		out.Clock = sched.Real{}
 	}
 	if out.Log == nil {
 		out.Log = trace.New()

@@ -2,12 +2,14 @@ package engine
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pdps/internal/lock"
 	"pdps/internal/match"
+	"pdps/internal/sched"
 	"pdps/internal/stats"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
@@ -29,6 +31,17 @@ type Parallel struct {
 	rt     *runtime
 	scheme lock.Scheme
 	lm     *lock.Manager
+
+	// clock supplies backoff timers, simulated costs and latency
+	// timestamps (Options.Clock; the controller itself under Sched).
+	clock sched.Clock
+	// ctl, when non-nil, is the deterministic scheduling controller:
+	// Run switches to the controlled pipeline (runDet) and every
+	// concurrent activity becomes a controlled task.
+	ctl sched.Controller
+	// det holds the controlled pipeline's event queue; nil when
+	// free-running.
+	det *detState
 
 	// tracked reports that the matcher journals conflict-set changes;
 	// without it the committer falls back to full rescans.
@@ -65,6 +78,22 @@ type Parallel struct {
 	work   chan *match.Instantiation
 	events chan pevent
 	wg     sync.WaitGroup
+}
+
+// detState is the controlled pipeline's committer queue: a plain slice
+// plus a wake channel, safe because the controller runs exactly one
+// task at a time (token passing provides the happens-before edges).
+type detState struct {
+	events []pevent
+	wake   chan struct{} // non-nil while the committer is parked idle
+}
+
+// signalCh delivers a non-blocking wakeup on a one-slot channel.
+func signalCh(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
 // pevKind discriminates worker→committer messages.
@@ -131,9 +160,14 @@ func NewParallel(p Program, scheme lock.Scheme, opts Options) (*Parallel, error)
 		rt:         rt,
 		scheme:     scheme,
 		lm:         lock.NewManagerShards(scheme, rt.opts.Deadlock, rt.opts.LockShards),
+		clock:      rt.opts.Clock,
 		active:     make(map[string]bool),
 		dispatched: make(map[string]bool),
 		retries:    make(map[string]int),
+	}
+	if rt.opts.Sched != nil {
+		e.ctl = rt.opts.Sched
+		e.lm.SetController(e.ctl)
 	}
 	if t, ok := rt.matcher.(match.ChangeTracker); ok {
 		t.TrackChanges(true)
@@ -152,6 +186,9 @@ func (e *Parallel) LockStats() lock.Stats { return e.lm.Stats() }
 // instantiation, no in-flight firing, no armed backoff timer), a halt
 // action, an error, or the firing limit.
 func (e *Parallel) Run() (Result, error) {
+	if e.ctl != nil {
+		return e.runDet()
+	}
 	rt := e.rt
 	e.work = make(chan *match.Instantiation)
 	e.events = make(chan pevent, rt.opts.Np*2+4)
@@ -197,29 +234,9 @@ func (e *Parallel) Run() (Result, error) {
 		select {
 		case ev := <-e.events:
 			e.submitQ.Add(-1)
-			switch ev.kind {
-			case evCommit:
-				inflight--
-				timers += e.resolveCommit(ev)
-			case evAborted:
-				inflight--
-				if ev.err != nil {
-					rt.fail(ev.err)
-				}
-				timers += e.noteAbort(ev.in)
-			case evSkipped:
-				inflight--
-				rt.skips++
-				delete(e.dispatched, ev.in.Key())
-			case evRequeue:
-				timers--
-				k := ev.in.Key()
-				if !rt.stopping() && e.activeHas(k) && !rt.fired[k] {
-					e.pending = append(e.pending, ev.in)
-				} else {
-					delete(e.dispatched, k)
-				}
-			}
+			di, dt := e.handleEvent(ev)
+			inflight += di
+			timers += dt
 		case sendCh <- next:
 			e.pending = e.pending[1:]
 			inflight++
@@ -229,6 +246,124 @@ func (e *Parallel) Run() (Result, error) {
 	close(e.work)
 	e.wg.Wait()
 	return rt.result(), rt.err
+}
+
+// runDet is Run under a deterministic controller: the same commit
+// pipeline, but each firing runs as its own controlled task instead of
+// on a worker pool, and the committer drains an event slice instead of
+// a channel — the controller serialises every access, and all blocking
+// (committer idle, worker awaiting a commit verdict, lock waits,
+// backoff timers) goes through the controller so the whole run is a
+// pure function of the scheduling policy.
+func (e *Parallel) runDet() (Result, error) {
+	rt := e.rt
+	e.det = &detState{}
+	e.refresh(rt.matcher.ConflictSet())
+
+	inflight, timers := 0, 0
+	for {
+		if rt.stopping() {
+			e.stopping.Store(true)
+		}
+		stop := e.stopping.Load()
+
+		if !stop {
+			for inflight < rt.opts.Np {
+				var next *match.Instantiation
+				for len(e.pending) > 0 {
+					in := e.pending[0]
+					k := in.Key()
+					if e.activeHas(k) && !rt.fired[k] {
+						next = in
+						break
+					}
+					delete(e.dispatched, k)
+					e.pending = e.pending[1:]
+				}
+				if next == nil {
+					break
+				}
+				e.pending = e.pending[1:]
+				inflight++
+				in := next
+				e.ctl.Go("fire:"+in.Rule.Name, func() { e.fire(in) })
+			}
+		}
+		e.dispatchQ.Set(int64(len(e.pending)))
+
+		if len(e.det.events) > 0 {
+			ev := e.det.events[0]
+			e.det.events = e.det.events[1:]
+			e.submitQ.Add(-1)
+			di, dt := e.handleEvent(ev)
+			inflight += di
+			timers += dt
+			continue
+		}
+
+		if inflight == 0 && timers == 0 && (stop || len(e.pending) == 0) {
+			break
+		}
+
+		// Nothing to do until a task or timer reports back.
+		ch := make(chan struct{}, 1)
+		e.det.wake = ch
+		e.ctl.Park("committer idle", ch)
+		e.det.wake = nil
+	}
+	return rt.result(), rt.err
+}
+
+// handleEvent applies one worker→committer event and returns the
+// deltas to the in-flight firing and armed backoff-timer counts.
+func (e *Parallel) handleEvent(ev pevent) (dInflight, dTimers int) {
+	rt := e.rt
+	switch ev.kind {
+	case evCommit:
+		dInflight = -1
+		dTimers = e.resolveCommit(ev)
+	case evAborted:
+		dInflight = -1
+		if ev.err != nil {
+			rt.fail(ev.err)
+		}
+		dTimers = e.noteAbort(ev.in)
+	case evSkipped:
+		dInflight = -1
+		rt.skips++
+		delete(e.dispatched, ev.in.Key())
+	case evRequeue:
+		dTimers = -1
+		k := ev.in.Key()
+		if !rt.stopping() && e.activeHas(k) && !rt.fired[k] {
+			e.pending = append(e.pending, ev.in)
+		} else {
+			delete(e.dispatched, k)
+		}
+	}
+	return
+}
+
+// submit hands a worker-side event to the committer.
+func (e *Parallel) submit(ev pevent) {
+	e.submitQ.Add(1)
+	if e.det != nil {
+		e.det.events = append(e.det.events, ev)
+		if e.det.wake != nil {
+			signalCh(e.det.wake)
+		}
+		return
+	}
+	e.events <- ev
+}
+
+// await blocks until the committer closes the reply channel.
+func (e *Parallel) await(reply chan struct{}) {
+	if e.ctl != nil {
+		e.ctl.Park("await commit verdict", reply)
+		return
+	}
+	<-reply
 }
 
 // activeHas reports whether the key is an unfired conflict-set member.
@@ -254,6 +389,11 @@ func (e *Parallel) refresh(cs *match.ConflictSet) {
 	} else {
 		added = cs.All()
 	}
+	// One matcher update can journal several activations, and their
+	// relative order leaks matcher-internal map iteration; sort by key
+	// so dispatch order — and with it every deterministic schedule — is
+	// a function of the program alone.
+	sort.Slice(added, func(i, j int) bool { return added[i].Key() < added[j].Key() })
 	if !e.tracked || (len(removed) == 0 && len(added) == cs.Len()) {
 		// Snapshot reconcile: added holds the complete membership.
 		act := make(map[string]bool, len(added))
@@ -347,7 +487,7 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 			delete(e.dispatched, key)
 			break
 		}
-		e.latency.Observe(time.Since(ev.start))
+		e.latency.Observe(e.clock.Now().Sub(ev.start))
 		e.deactivate(key)
 		delete(e.dispatched, key)
 		delete(e.retries, key)
@@ -388,9 +528,8 @@ func (e *Parallel) noteAbort(in *match.Instantiation) int {
 	if max := 50 * time.Millisecond; d > max {
 		d = max
 	}
-	time.AfterFunc(d, func() {
-		e.submitQ.Add(1)
-		e.events <- pevent{kind: evRequeue, in: in}
+	e.clock.AfterFunc(d, func() {
+		e.submit(pevent{kind: evRequeue, in: in})
 	})
 	return 1
 }
@@ -428,21 +567,17 @@ func (e *Parallel) fire(in *match.Instantiation) {
 		e.lm.End(txn)
 		e.txnInst.Delete(txn)
 	}
-	submit := func(ev pevent) {
-		e.submitQ.Add(1)
-		e.events <- ev
-	}
 	abort := func(reason string, err error) {
 		rt.opts.Log.Append(trace.Event{Kind: trace.KindAbort, Rule: in.Rule.Name,
 			Inst: key, Txn: int64(txn), Detail: reason})
 		end()
-		submit(pevent{kind: evAborted, in: in, err: err})
+		e.submit(pevent{kind: evAborted, in: in, err: err})
 	}
 	skip := func(reason string) {
 		rt.opts.Log.Append(trace.Event{Kind: trace.KindSkip, Rule: in.Rule.Name,
 			Inst: key, Txn: int64(txn), Detail: reason})
 		end()
-		submit(pevent{kind: evSkipped, in: in})
+		e.submit(pevent{kind: evSkipped, in: in})
 	}
 
 	// Phase 1: Rc locks for condition evaluation (Figure 4.2).
@@ -461,12 +596,12 @@ func (e *Parallel) fire(in *match.Instantiation) {
 	}
 
 	rt.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: key, Txn: int64(txn)})
-	start := time.Now()
+	start := e.clock.Now()
 
 	// Simulated condition-evaluation cost: Rc locks held, RHS locks
 	// not yet requested — the Figure 4.3/4.4 window.
 	if d := rt.opts.CondDelay[in.Rule.Name]; d > 0 {
-		time.Sleep(d)
+		e.clock.Sleep(d)
 	}
 
 	// Phase 2: all Ra and Wa locks at RHS start (Section 4.3).
@@ -479,7 +614,7 @@ func (e *Parallel) fire(in *match.Instantiation) {
 
 	// Action execution (simulated cost, then staged effects).
 	if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
-		time.Sleep(d)
+		e.clock.Sleep(d)
 	}
 	wtx := rt.store.Begin()
 	halt, err := match.ExecuteActions(in, wtx)
@@ -492,7 +627,7 @@ func (e *Parallel) fire(in *match.Instantiation) {
 	// Submit to the committer; hold the lock transaction open until it
 	// answers so a commit's RcVictims scan still sees our locks.
 	reply := make(chan struct{})
-	submit(pevent{kind: evCommit, in: in, txn: txn, wtx: wtx, halt: halt, start: start, reply: reply})
-	<-reply
+	e.submit(pevent{kind: evCommit, in: in, txn: txn, wtx: wtx, halt: halt, start: start, reply: reply})
+	e.await(reply)
 	end()
 }

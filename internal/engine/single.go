@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"pdps/internal/match"
 	"pdps/internal/trace"
@@ -52,7 +51,7 @@ func (e *Single) Run() (Result, error) {
 			return rt.result(), fmt.Errorf("%w: %s selected while inactive", ErrInconsistent, key)
 		}
 		if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
-			time.Sleep(d)
+			rt.opts.Clock.Sleep(d)
 		}
 		tx := rt.store.Begin()
 		halt, err := match.ExecuteActions(in, tx)

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"sync"
-	"time"
 
 	"pdps/internal/match"
 	"pdps/internal/trace"
@@ -81,7 +80,7 @@ func (e *Static) Run() (Result, error) {
 				defer func() { <-sem }()
 				rt.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name, Inst: in.Key()})
 				if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
-					time.Sleep(d)
+					rt.opts.Clock.Sleep(d)
 				}
 				tx := rt.store.Begin()
 				halts[i], errs[i] = match.ExecuteActions(in, tx)

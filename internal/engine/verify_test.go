@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"pdps/internal/match"
+	"pdps/internal/trace"
+	"pdps/internal/wm"
+)
+
+// eatProgram holds n content-identical tuples and one rule consuming
+// one per firing. Because WME fingerprints exclude identity (ID and
+// time tag), every active instantiation of "eat" carries the same
+// fingerprint, so the checker must choose between them — the
+// backtracking case.
+func eatProgram(n int) Program {
+	p := Program{
+		Rules: []*match.Rule{{
+			Name: "eat",
+			Conditions: []match.Condition{
+				{Class: "a", Tests: []match.AttrTest{{Attr: "v", Op: match.OpEq, Const: wm.Int(1)}}},
+			},
+			Actions: []match.Action{{Kind: match.ActRemove, CE: 0}},
+		}},
+	}
+	for i := 0; i < n; i++ {
+		p.WMEs = append(p.WMEs, InitialWME{Class: "a", Attrs: attrs("v", 1)})
+	}
+	return p
+}
+
+// chainProgram: "first" consumes the seed and creates t; "second"
+// consumes t. Only the order first;second is a single-thread execution.
+func chainProgram() Program {
+	first := &match.Rule{
+		Name: "first",
+		Conditions: []match.Condition{
+			{Class: "s", Tests: []match.AttrTest{{Attr: "on", Op: match.OpEq, Const: wm.Bool(true)}}},
+		},
+		Actions: []match.Action{
+			{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+				{Attr: "on", Expr: match.ConstExpr{Val: wm.Bool(false)}}}},
+			{Kind: match.ActMake, Class: "t", Assigns: []match.AttrAssign{
+				{Attr: "done", Expr: match.ConstExpr{Val: wm.Bool(true)}}}},
+		},
+	}
+	second := &match.Rule{
+		Name: "second",
+		Conditions: []match.Condition{
+			{Class: "t", Tests: []match.AttrTest{{Attr: "done", Op: match.OpEq, Const: wm.Bool(true)}}},
+		},
+		Actions: []match.Action{{Kind: match.ActRemove, CE: 0}},
+	}
+	return Program{
+		Rules: []*match.Rule{first, second},
+		WMEs:  []InitialWME{{Class: "s", Attrs: attrs("on", true)}},
+	}
+}
+
+func commit(rule string, wmes ...string) trace.Event {
+	return trace.Event{Kind: trace.KindCommit, Rule: rule, WMEs: wmes}
+}
+
+// TestCheckTraceBacktracking is the table-driven oracle test: valid
+// traces with duplicate fingerprints must be accepted (the checker
+// resolves the ambiguity, backtracking where a trial dead-ends), and
+// inconsistent traces must be rejected with ErrInconsistent.
+func TestCheckTraceBacktracking(t *testing.T) {
+	cases := []struct {
+		name    string
+		prog    Program
+		commits []trace.Event
+		wantOK  bool
+	}{
+		{
+			name:    "empty trace is trivially consistent",
+			prog:    eatProgram(2),
+			commits: nil,
+			wantOK:  true,
+		},
+		{
+			name: "duplicate fingerprints, both consumed",
+			prog: eatProgram(2),
+			commits: []trace.Event{
+				commit("eat", "(a ^v 1)"),
+				commit("eat", "(a ^v 1)"),
+			},
+			wantOK: true,
+		},
+		{
+			name: "three-way duplicates, partial consumption",
+			prog: eatProgram(3),
+			commits: []trace.Event{
+				commit("eat", "(a ^v 1)"),
+				commit("eat", "(a ^v 1)"),
+			},
+			wantOK: true,
+		},
+		{
+			name: "over-consumption rejected",
+			prog: eatProgram(2),
+			commits: []trace.Event{
+				commit("eat", "(a ^v 1)"),
+				commit("eat", "(a ^v 1)"),
+				commit("eat", "(a ^v 1)"),
+			},
+			wantOK: false,
+		},
+		{
+			name: "deep duplicates with bogus last step exhaust every branch",
+			prog: eatProgram(3),
+			commits: []trace.Event{
+				commit("eat", "(a ^v 1)"),
+				commit("eat", "(a ^v 1)"),
+				commit("eat", "(a ^v 2)"),
+			},
+			wantOK: false,
+		},
+		{
+			name: "causal chain in order",
+			prog: chainProgram(),
+			commits: []trace.Event{
+				commit("first", "(s ^on true)"),
+				commit("second", "(t ^done true)"),
+			},
+			wantOK: true,
+		},
+		{
+			name: "effect before cause rejected",
+			prog: chainProgram(),
+			commits: []trace.Event{
+				commit("second", "(t ^done true)"),
+				commit("first", "(s ^on true)"),
+			},
+			wantOK: false,
+		},
+		{
+			name: "bogus fingerprint rejected",
+			prog: chainProgram(),
+			commits: []trace.Event{
+				commit("first", "(s ^on maybe)"),
+			},
+			wantOK: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckTrace(tc.prog, tc.commits)
+			if tc.wantOK && err != nil {
+				t.Fatalf("consistent trace rejected: %v", err)
+			}
+			if !tc.wantOK {
+				if err == nil {
+					t.Fatal("inconsistent trace accepted")
+				}
+				if !errors.Is(err, ErrInconsistent) {
+					t.Fatalf("rejection is not ErrInconsistent: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckTraceUnknownRule: a trace committing a rule the program
+// does not define is an error, not a mere inconsistency.
+func TestCheckTraceUnknownRule(t *testing.T) {
+	err := CheckTrace(eatProgram(1), []trace.Event{commit("ghost", "(a ^v 1)")})
+	if err == nil || errors.Is(err, ErrInconsistent) {
+		t.Fatalf("unknown rule: got %v, want a distinct error", err)
+	}
+}
+
+// TestCheckTraceUndoRestoresStore: after a failed deep trial the
+// checker must leave the replay store able to accept a different
+// continuation — exercised by checking the same program and prefix
+// with both a failing and a succeeding suffix, in both orders.
+func TestCheckTraceUndoRestoresStore(t *testing.T) {
+	prog := chainProgram()
+	bad := []trace.Event{
+		commit("first", "(s ^on true)"),
+		commit("second", "(t ^done false)"),
+	}
+	good := []trace.Event{
+		commit("first", "(s ^on true)"),
+		commit("second", "(t ^done true)"),
+	}
+	if err := CheckTrace(prog, bad); !errors.Is(err, ErrInconsistent) {
+		t.Fatalf("bad suffix: got %v", err)
+	}
+	if err := CheckTrace(prog, good); err != nil {
+		t.Fatalf("good suffix after failed check: %v", err)
+	}
+}

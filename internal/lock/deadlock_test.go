@@ -4,12 +4,13 @@ import (
 	"errors"
 	"sync"
 	"testing"
-	"time"
 )
 
 // crossAcquire sets up the classic two-resource crossing: t1 holds q
 // and requests r; t2 holds r and requests q. It returns the two
-// Acquire errors.
+// Acquire errors. The two requests race deliberately: under wound-wait
+// and wait-die the prevention outcome is the same whichever request is
+// processed first, so no ordering synchronisation is needed.
 func crossAcquire(t *testing.T, m *Manager) (err1, err2 error, t1, t2 TxnID) {
 	t.Helper()
 	q := Resource{Class: "q", ID: 1}
@@ -30,7 +31,6 @@ func crossAcquire(t *testing.T, m *Manager) (err1, err2 error, t1, t2 TxnID) {
 			m.End(t1)
 		}
 	}()
-	time.Sleep(5 * time.Millisecond)
 	go func() {
 		defer wg.Done()
 		err2 = m.Acquire(t2, q, Wa)
@@ -83,10 +83,11 @@ func TestWaitDieOlderWaits(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- m.Acquire(t1, q, Wa) }()
+	waitForWaiters(t, m, 1)
 	select {
 	case err := <-done:
 		t.Fatalf("older requester returned early: %v", err)
-	case <-time.After(20 * time.Millisecond):
+	default:
 	}
 	m.End(t2)
 	if err := <-done; err != nil {
@@ -105,10 +106,11 @@ func TestWoundWaitYoungerWaits(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- m.Acquire(t2, q, Wa) }()
+	waitForWaiters(t, m, 1)
 	select {
 	case err := <-done:
 		t.Fatalf("younger requester returned early: %v", err)
-	case <-time.After(20 * time.Millisecond):
+	default:
 	}
 	if m.Aborted(t1) {
 		t.Fatal("older holder must not be wounded by younger requester")

@@ -9,7 +9,7 @@
 // race (Section 4.3, rules (i) and (ii)).
 //
 // The lock tables are sharded by class hash: each shard has its own
-// mutex, condition variable and entry maps, so transactions locking
+// mutex, waiter list and entry maps, so transactions locking
 // resources of different classes never contend on manager state. A
 // tuple-level resource and its class's relation-level resource always
 // land in the same shard, which keeps the tuple/relation escalation
@@ -25,6 +25,8 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+
+	"pdps/internal/sched"
 )
 
 // Mode is a lock mode. Modes are ordered by strength: Rc < Ra < Wa.
@@ -151,6 +153,21 @@ type txnState struct {
 	// waitsOn is the set of transactions currently blocking this one;
 	// rebuilt on every blocked-acquire iteration.
 	waitsOn map[TxnID]bool
+	// waitCh, when non-nil, is the channel the transaction's Acquire is
+	// (about to be) blocked on; abortLocked signals it so a targeted
+	// abort reaches exactly the right waiter without touching any
+	// shard. Set and cleared under the registry mutex.
+	waitCh chan struct{}
+}
+
+// signal delivers a non-blocking wakeup on a one-slot channel. Unlike
+// close, it can be sent any number of times (broadcast on release plus
+// a targeted abort may both hit the same waiter).
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
 type entry struct {
@@ -161,12 +178,26 @@ type entry struct {
 // hashes here, tuple- and relation-level alike.
 type shard struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
 	entries map[Resource]*entry
 	byClass map[string]map[int64]*entry // tuple-level entries per class
 
+	// waiters holds one one-slot channel per blocked Acquire iteration;
+	// a release broadcast signals and clears them all. Channel waiters
+	// (rather than a sync.Cond) let a deterministic controller park on
+	// the same primitive the free-running path blocks on.
+	waiters []chan struct{}
+
 	acquired int64 // grants in this shard; guarded by mu
 	waits    int64 // blocked acquisitions in this shard; guarded by mu
+}
+
+// broadcastLocked wakes every waiter registered with the shard. Caller
+// holds s.mu.
+func (s *shard) broadcastLocked() {
+	for _, ch := range s.waiters {
+		signal(ch)
+	}
+	s.waiters = s.waiters[:0]
 }
 
 // DefaultShards is the lock-table shard count used by NewManager and
@@ -183,6 +214,10 @@ type Manager struct {
 	policy DeadlockPolicy
 	shards []*shard
 	seed   maphash.Seed
+	// ctl, when non-nil, is the deterministic scheduling controller:
+	// Acquire yields to it on entry (every lock request is a scheduling
+	// point) and parks through it instead of blocking natively.
+	ctl sched.Controller
 
 	reg struct {
 		sync.Mutex
@@ -230,16 +265,19 @@ func NewManagerShards(s Scheme, p DeadlockPolicy, shards int) *Manager {
 	m := &Manager{scheme: s, policy: p, seed: maphash.MakeSeed()}
 	m.shards = make([]*shard, shards)
 	for i := range m.shards {
-		sh := &shard{
+		m.shards[i] = &shard{
 			entries: make(map[Resource]*entry),
 			byClass: make(map[string]map[int64]*entry),
 		}
-		sh.cond = sync.NewCond(&sh.mu)
-		m.shards[i] = sh
 	}
 	m.reg.txns = make(map[TxnID]*txnState)
 	return m
 }
+
+// SetController installs a deterministic scheduling controller. Call
+// it before any Acquire; a nil controller (the default) leaves the
+// manager free-running.
+func (m *Manager) SetController(c sched.Controller) { m.ctl = c }
 
 // Scheme returns the manager's compatibility scheme.
 func (m *Manager) Scheme() Scheme { return m.scheme }
@@ -280,12 +318,18 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 	if tx == nil {
 		return fmt.Errorf("lock: unknown transaction %d", id)
 	}
+	if m.ctl != nil {
+		// Every lock request is a scheduling point: under deterministic
+		// exploration this is where interleavings branch.
+		m.ctl.Yield("lock:" + res.String())
+	}
 	s := m.shardFor(res.Class)
 	waited := false
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
 		m.reg.Lock()
+		tx.waitCh = nil
 		if tx.aborted {
 			tx.waitsOn = nil
 			err := tx.abortErr
@@ -303,7 +347,7 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 			m.grantLocked(s, tx, res, mode)
 			if waited {
 				// Wake others: the wait graph changed.
-				s.cond.Broadcast()
+				s.broadcastLocked()
 			}
 			return nil
 		}
@@ -315,7 +359,19 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 			m.reg.Unlock()
 			return ErrDeadlock
 		}
+		if tx.aborted {
+			// Aborted by the policy resolution itself or by a concurrent
+			// commit; loop back to the top, which returns the abort error.
+			m.reg.Unlock()
+			continue
+		}
 		settling := m.anySettlingLocked(blockers)
+		// Register the wakeup channel while still holding the registry
+		// mutex: abortLocked signals tx.waitCh, and the aborted re-check
+		// above ran in this same critical section, so an abort either
+		// happened before (we saw it) or will signal the channel.
+		ch := make(chan struct{}, 1)
+		tx.waitCh = ch
 		m.reg.Unlock()
 		if !settling && !waited {
 			// A blocker may be aborted (wounded by prevention, chosen by
@@ -326,7 +382,17 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 			s.waits++
 			waited = true
 		}
-		s.cond.Wait()
+		// Register with the shard before releasing its mutex: a release
+		// broadcast after this point signals ch, and one before it was
+		// observed by blockersLocked. No wakeup can be lost.
+		s.waiters = append(s.waiters, ch)
+		s.mu.Unlock()
+		if m.ctl != nil {
+			m.ctl.Park("lockwait:"+res.String(), ch)
+		} else {
+			<-ch
+		}
+		s.mu.Lock()
 	}
 }
 
@@ -462,8 +528,16 @@ func (m *Manager) findDeadlockVictimLocked(id TxnID) TxnID {
 		}
 		onPath[cur] = true
 		path = append(path, cur)
-		for next := range tx.waitsOn {
-			if dfs(next) {
+		// Sorted edge order keeps victim selection deterministic when a
+		// node waits on several transactions (map iteration order would
+		// otherwise leak into which cycle is found first).
+		next := make([]TxnID, 0, len(tx.waitsOn))
+		for n := range tx.waitsOn {
+			next = append(next, n)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, n := range next {
+			if dfs(n) {
 				return true
 			}
 		}
@@ -483,22 +557,11 @@ func (m *Manager) findDeadlockVictimLocked(id TxnID) TxnID {
 	return victim
 }
 
-// wakeAllAsync broadcasts every shard's condition variable from a
-// fresh goroutine. Taking each shard mutex first guarantees a waiter
-// that has not yet parked re-checks its abort flag before sleeping, so
-// the wakeup cannot be lost; doing it off-thread keeps the caller free
-// to hold any combination of shard and registry mutexes.
-func (m *Manager) wakeAllAsync() {
-	go func() {
-		for _, s := range m.shards {
-			s.mu.Lock()
-			s.cond.Broadcast()
-			s.mu.Unlock()
-		}
-	}()
-}
-
-// abortLocked marks a transaction aborted and wakes waiters. The
+// abortLocked marks a transaction aborted and signals its pending
+// Acquire, if any, through the per-transaction wait channel — a
+// targeted wakeup needing no shard mutex (replacing the old
+// broadcast-every-shard-from-a-goroutine scheme, which was both a
+// thundering herd and a source of scheduling nondeterminism). The
 // transaction's locks remain held until End is called (the owner must
 // roll back first). Caller holds the registry mutex.
 func (m *Manager) abortLocked(id TxnID, err error) {
@@ -510,7 +573,9 @@ func (m *Manager) abortLocked(id TxnID, err error) {
 	tx.abortErr = err
 	tx.waitsOn = nil
 	m.reg.aborts++
-	m.wakeAllAsync()
+	if tx.waitCh != nil {
+		signal(tx.waitCh)
+	}
 }
 
 // Abort marks the transaction aborted: a pending or future Acquire by
@@ -628,7 +693,7 @@ func (m *Manager) End(id TxnID) {
 				}
 			}
 		}
-		s.cond.Broadcast()
+		s.broadcastLocked()
 		s.mu.Unlock()
 	}
 

@@ -6,6 +6,22 @@ import (
 	"time"
 )
 
+// waitForWaiters blocks until the manager has registered at least n
+// blocked acquisitions. The Waits counter is incremented after the
+// waits-for edge is published, so once it reads n the blocked
+// requests are fully visible to the deadlock machinery; the deadline
+// bounds liveness only, not correctness.
+func waitForWaiters(t *testing.T, m *Manager, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats().Waits < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("waits=%d after 5s, want >= %d", m.Stats().Waits, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
 func TestCompatibilityTable41(t *testing.T) {
 	// Table 4.1 (held row, requested column) for the improved scheme:
 	//        Rc  Ra  Wa
@@ -70,10 +86,11 @@ func TestWaBlocksUntilRelease(t *testing.T) {
 	}
 	got := make(chan error, 1)
 	go func() { got <- m.Acquire(t2, q, Rc) }()
+	waitForWaiters(t, m, 1)
 	select {
 	case err := <-got:
 		t.Fatalf("Rc against held Wa must block, returned %v", err)
-	case <-time.After(30 * time.Millisecond):
+	default:
 	}
 	m.End(t1)
 	if err := <-got; err != nil {
@@ -117,7 +134,7 @@ func TestDeadlockDetectionAbortsYoungest(t *testing.T) {
 	}
 	errs := make(chan error, 2)
 	go func() { errs <- m.Acquire(t1, r, Wa) }()
-	time.Sleep(10 * time.Millisecond)
+	waitForWaiters(t, m, 1)
 	go func() { errs <- m.Acquire(t2, q, Wa) }()
 
 	// Exactly one of the two must get ErrDeadlock; the other succeeds
@@ -154,7 +171,7 @@ func TestAbortWakesWaiter(t *testing.T) {
 	}
 	got := make(chan error, 1)
 	go func() { got <- m.Acquire(t2, q, Wa) }()
-	time.Sleep(10 * time.Millisecond)
+	waitForWaiters(t, m, 1)
 	m.Abort(t2)
 	if err := <-got; !errors.Is(err, ErrAborted) {
 		t.Fatalf("aborted waiter got %v, want ErrAborted", err)
@@ -274,7 +291,7 @@ func TestStatsCounters(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- m.Acquire(t2, q, Wa) }()
-	time.Sleep(10 * time.Millisecond)
+	waitForWaiters(t, m, 1)
 	m.End(t1)
 	if err := <-done; err != nil {
 		t.Fatal(err)

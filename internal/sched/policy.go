@@ -1,0 +1,124 @@
+package sched
+
+import "math/rand"
+
+// Cand describes one runnable task at a scheduling decision.
+type Cand struct {
+	ID   int    // task id (creation order, stable within a run)
+	Name string // task label, for diagnostics
+}
+
+// Choice records one scheduling decision: the branching factor and the
+// index picked. The sequence of choices of a run fully determines the
+// interleaving, so a recorded run can be replayed or systematically
+// perturbed (see detsched.Explore).
+type Choice struct {
+	N      int // number of runnable tasks at the decision
+	Picked int // index chosen, 0 <= Picked < N
+}
+
+// Policy decides which runnable task runs next. Pick is only consulted
+// at genuine branch points (two or more runnable tasks); a lone
+// runnable task is resumed without a decision. Candidates are sorted
+// by task id. Policies are driven from a single goroutine and need no
+// locking.
+type Policy interface {
+	Pick(cands []Cand) int
+}
+
+// randomPolicy schedules uniformly at random (a seeded random walk
+// over the interleaving tree).
+type randomPolicy struct{ rng *rand.Rand }
+
+// NewRandom returns a uniform random-walk policy. The same seed yields
+// the same schedule for the same program and configuration.
+func NewRandom(seed int64) Policy {
+	return &randomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *randomPolicy) Pick(cands []Cand) int { return p.rng.Intn(len(cands)) }
+
+// pctPolicy is a PCT-style priority scheduler (Burckhardt et al., "A
+// Randomized Scheduler with Probabilistic Guarantees of Finding
+// Bugs"): every task gets a random priority when first seen, the
+// highest-priority runnable task always runs, and at each decision the
+// running candidate is demoted below all others with probability
+// changeProb. Small numbers of demotions suffice to hit bugs of small
+// "depth", which makes PCT sampling much better than uniform random
+// walks at flushing out ordering bugs.
+type pctPolicy struct {
+	rng        *rand.Rand
+	changeProb float64
+	pri        map[int]int
+	floor      int // lowest priority handed out so far
+}
+
+// NewPCT returns a PCT-style policy. changeProb is the per-decision
+// probability of demoting the currently preferred task (0.0–1.0; 0.1
+// is a reasonable default).
+func NewPCT(seed int64, changeProb float64) Policy {
+	return &pctPolicy{
+		rng:        rand.New(rand.NewSource(seed)),
+		changeProb: changeProb,
+		pri:        make(map[int]int),
+	}
+}
+
+func (p *pctPolicy) Pick(cands []Cand) int {
+	for _, c := range cands {
+		if _, ok := p.pri[c.ID]; !ok {
+			pr := p.rng.Intn(1 << 20)
+			p.pri[c.ID] = pr
+			if pr < p.floor {
+				p.floor = pr
+			}
+		}
+	}
+	best := 0
+	for i, c := range cands {
+		if p.pri[c.ID] > p.pri[cands[best].ID] {
+			best = i
+		}
+	}
+	if p.rng.Float64() < p.changeProb {
+		p.floor--
+		p.pri[cands[best].ID] = p.floor
+		for i, c := range cands {
+			if p.pri[c.ID] > p.pri[cands[best].ID] {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// replayPolicy follows a scripted prefix of decisions and then always
+// picks index 0. detsched.Explore uses it for stateless depth-first
+// search over the interleaving tree: rerun with prefix P, read the
+// recorded choices, bump the last incrementable one.
+type replayPolicy struct {
+	script []int
+	pos    int
+}
+
+// NewReplay returns a policy that follows script and then defaults to
+// index 0. The script is copied. A script entry out of range for its
+// decision panics: it means the run diverged from the recorded one,
+// i.e. a determinism bug.
+func NewReplay(script []int) Policy {
+	s := make([]int, len(script))
+	copy(s, script)
+	return &replayPolicy{script: s}
+}
+
+func (p *replayPolicy) Pick(cands []Cand) int {
+	if p.pos >= len(p.script) {
+		return 0
+	}
+	i := p.script[p.pos]
+	p.pos++
+	if i < 0 || i >= len(cands) {
+		panic("sched: replay diverged from recorded schedule")
+	}
+	return i
+}

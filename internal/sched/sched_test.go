@@ -1,0 +1,272 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSerialisation: controlled tasks may mutate shared state with no
+// locking at all, because exactly one task runs at a time and the
+// baton passes through channels (giving the race detector its
+// happens-before edges). 50 tasks × 20 unsynchronised increments.
+func TestSerialisation(t *testing.T) {
+	d := NewDet(NewRandom(1))
+	counter := 0
+	err := d.Run(func() {
+		for i := 0; i < 50; i++ {
+			d.Go(fmt.Sprintf("inc%d", i), func() {
+				for j := 0; j < 20; j++ {
+					v := counter
+					d.Yield("between read and write")
+					counter = v + 1
+				}
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lost updates are expected (read-yield-write races are the point
+	// of the exercise); what must hold is freedom from data races and
+	// a deterministic final value for the seed.
+	d2 := NewDet(NewRandom(1))
+	counter2 := 0
+	if err := d2.Run(func() {
+		for i := 0; i < 50; i++ {
+			d2.Go(fmt.Sprintf("inc%d", i), func() {
+				for j := 0; j < 20; j++ {
+					v := counter2
+					d2.Yield("between read and write")
+					counter2 = v + 1
+				}
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if counter != counter2 {
+		t.Fatalf("same seed, different outcomes: %d vs %d", counter, counter2)
+	}
+	if !reflect.DeepEqual(d.Choices(), d2.Choices()) {
+		t.Fatal("same seed, different choice sequences")
+	}
+}
+
+// TestReplay: replaying a recorded choice sequence reproduces it.
+func TestReplay(t *testing.T) {
+	order := func(p Policy) ([]int, []Choice) {
+		d := NewDet(p)
+		var got []int
+		if err := d.Run(func() {
+			for i := 0; i < 5; i++ {
+				i := i
+				d.Go(fmt.Sprintf("t%d", i), func() {
+					d.Yield("step")
+					got = append(got, i)
+				})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got, d.Choices()
+	}
+	o1, ch1 := order(NewRandom(42))
+	script := make([]int, len(ch1))
+	for i, c := range ch1 {
+		script[i] = c.Picked
+	}
+	o2, ch2 := order(NewReplay(script))
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatalf("replay order %v != recorded %v", o2, o1)
+	}
+	if !reflect.DeepEqual(ch1, ch2) {
+		t.Fatalf("replay choices %v != recorded %v", ch2, ch1)
+	}
+}
+
+// TestParkSignal: a parked task resumes only after its channel is
+// signalled, and the signal may arrive before the park.
+func TestParkSignal(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		d := NewDet(NewRandom(seed))
+		var log []string
+		err := d.Run(func() {
+			ch := make(chan struct{}, 1)
+			d.Go("waiter", func() {
+				d.Park("wait", ch)
+				log = append(log, "woke")
+			})
+			d.Go("signaller", func() {
+				d.Yield("dawdle")
+				log = append(log, "signal")
+				ch <- struct{}{}
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(log, []string{"signal", "woke"}) {
+			t.Fatalf("seed %d: order %v", seed, log)
+		}
+	}
+}
+
+// TestVirtualTime: sleeps order by deadline, and the clock advances
+// only when nothing is runnable.
+func TestVirtualTime(t *testing.T) {
+	d := NewDet(NewRandom(7))
+	var log []string
+	start := d.Now()
+	err := d.Run(func() {
+		d.Go("slow", func() {
+			d.Sleep(50 * time.Millisecond)
+			log = append(log, "slow")
+		})
+		d.Go("fast", func() {
+			d.Sleep(10 * time.Millisecond)
+			log = append(log, "fast")
+		})
+		d.Go("busy", func() {
+			log = append(log, "busy")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log, []string{"busy", "fast", "slow"}) {
+		t.Fatalf("order %v", log)
+	}
+	if got := d.Now().Sub(start); got != 50*time.Millisecond {
+		t.Fatalf("virtual clock advanced %v, want 50ms", got)
+	}
+}
+
+// TestAfterFunc: timers fire in deadline order as controlled tasks,
+// and Stop prevents firing.
+func TestAfterFunc(t *testing.T) {
+	d := NewDet(NewRandom(3))
+	var log []string
+	err := d.Run(func() {
+		d.AfterFunc(20*time.Millisecond, func() { log = append(log, "b") })
+		d.AfterFunc(10*time.Millisecond, func() { log = append(log, "a") })
+		tm := d.AfterFunc(5*time.Millisecond, func() { log = append(log, "cancelled") })
+		if !tm.Stop() {
+			t.Error("Stop on pending timer returned false")
+		}
+		if tm.Stop() {
+			t.Error("second Stop returned true")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log, []string{"a", "b"}) {
+		t.Fatalf("order %v", log)
+	}
+}
+
+// TestStall: tasks parked forever produce a StallError naming them,
+// and the run still terminates cleanly.
+func TestStall(t *testing.T) {
+	d := NewDet(NewRandom(0))
+	err := d.Run(func() {
+		d.Go("stuck", func() {
+			d.Park("never signalled", make(chan struct{}))
+		})
+	})
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want StallError", err)
+	}
+	if se.Dump == "" {
+		t.Fatal("empty stall dump")
+	}
+}
+
+// TestBudget: a livelocking pair of tasks is cut off by MaxSteps.
+func TestBudget(t *testing.T) {
+	d := NewDet(NewRandom(0))
+	d.MaxSteps = 100
+	err := d.Run(func() {
+		spin := func() {
+			for {
+				d.Yield("spin")
+			}
+		}
+		d.Go("a", spin)
+		d.Go("b", spin)
+	})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}
+
+// TestTaskPanic: a panic inside a controlled task surfaces as Run's
+// error instead of killing the process, and other tasks unwind.
+func TestTaskPanic(t *testing.T) {
+	d := NewDet(NewRandom(0))
+	err := d.Run(func() {
+		d.Go("bystander", func() {
+			d.Park("wait", make(chan struct{}))
+		})
+		d.Go("bomb", func() {
+			panic("boom")
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+}
+
+// TestImmediateClock: Immediate collapses delays and runs callbacks.
+func TestImmediateClock(t *testing.T) {
+	var c Clock = Immediate{}
+	before := time.Now()
+	c.Sleep(time.Hour)
+	if time.Since(before) > time.Second {
+		t.Fatal("Immediate.Sleep slept")
+	}
+	ch := make(chan struct{})
+	c.AfterFunc(time.Hour, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Immediate.AfterFunc never ran")
+	}
+}
+
+// TestPCT: PCT runs complete and are reproducible per seed.
+func TestPCT(t *testing.T) {
+	run := func(seed int64) []int {
+		d := NewDet(NewPCT(seed, 0.1))
+		var got []int
+		if err := d.Run(func() {
+			for i := 0; i < 8; i++ {
+				i := i
+				d.Go(fmt.Sprintf("t%d", i), func() {
+					d.Yield("a")
+					d.Yield("b")
+					got = append(got, i)
+				})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if !reflect.DeepEqual(run(5), run(5)) {
+		t.Fatal("PCT not reproducible for same seed")
+	}
+	// Different seeds should (very likely) produce different orders.
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 8; seed++ {
+		distinct[fmt.Sprint(run(seed))] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("PCT produced a single order across 8 seeds")
+	}
+}

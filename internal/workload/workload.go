@@ -325,3 +325,113 @@ func RandomProgram(seed int64, layers, width int) engine.Program {
 	}
 	return p
 }
+
+// RandomContended generates a terminating but conflict-heavy concrete
+// program for schedule fuzzing, and the exact number of commits every
+// consistent execution of it performs. The skeleton is the layered
+// consumption of RandomProgram — each rule removes a c<l> tuple and
+// makes its layer-l+1 successors — spiced with three contention
+// sources chosen from the seed:
+//
+//   - fan-out: a layer's rule may make two successor tuples with the
+//     same value, so working memory accumulates duplicate-content
+//     tuples (stressing the fingerprint backtracking in CheckTrace);
+//   - a hub: with probability hubProb per layer, the rule also reads
+//     and modifies the single shared (hub ^n ...) tuple, serialising
+//     every coupled firing through one Wa lock;
+//   - negation: with probability negProb per layer, the rule gets a
+//     negated condition on the hub class that never matches (^n < 0),
+//     forcing a relation-level Rc lock that collides with the hub
+//     writers' tuple-level Wa — the escalation path and, under
+//     SchemeRcRaWa, the commit-time Rc-victim rule.
+//
+// None of the three changes the commit count of a consistent run:
+// every c<l> tuple is consumed exactly once regardless of order, the
+// hub modify is always enabled, and the negation is always satisfied.
+func RandomContended(seed int64, layers, width int, hubProb, negProb float64) (engine.Program, int) {
+	rng := rand.New(rand.NewSource(seed))
+	if layers < 1 {
+		layers = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	fanout := make([]int, layers) // successor tuples made per firing
+	hub := make([]bool, layers)
+	neg := make([]bool, layers)
+	anyHub := false
+	for l := 0; l < layers; l++ {
+		fanout[l] = 1
+		if l < layers-1 && rng.Float64() < 0.3 {
+			fanout[l] = 2
+		}
+		hub[l] = rng.Float64() < hubProb
+		neg[l] = rng.Float64() < negProb
+		anyHub = anyHub || hub[l]
+	}
+	var rules []*match.Rule
+	for l := 0; l < layers; l++ {
+		cls := fmt.Sprintf("c%d", l)
+		r := &match.Rule{
+			Name: fmt.Sprintf("r%d", l),
+			Conditions: []match.Condition{
+				{Class: cls, Tests: []match.AttrTest{{Attr: "v", Op: match.OpEq, Var: "x"}}},
+			},
+			Actions: []match.Action{{Kind: match.ActRemove, CE: 0}},
+		}
+		if hub[l] {
+			r.Conditions = append(r.Conditions, match.Condition{
+				Class: "hub", Tests: []match.AttrTest{{Attr: "n", Op: match.OpEq, Var: "t"}}})
+			r.Actions = append(r.Actions, match.Action{
+				Kind: match.ActModify, CE: 1,
+				Assigns: []match.AttrAssign{{Attr: "n", Expr: match.BinExpr{
+					Op: match.ArithAdd, L: match.VarExpr{Name: "t"}, R: match.ConstExpr{Val: wm.Int(1)}}}},
+			})
+		}
+		if neg[l] {
+			r.Conditions = append(r.Conditions, match.Condition{
+				Class: "hub", Negated: true,
+				Tests: []match.AttrTest{{Attr: "n", Op: match.OpLt, Const: wm.Int(0)}}})
+		}
+		if l < layers-1 {
+			for k := 0; k < fanout[l]; k++ {
+				r.Actions = append(r.Actions, match.Action{
+					Kind: match.ActMake, Class: fmt.Sprintf("c%d", l+1),
+					Assigns: []match.AttrAssign{{Attr: "v", Expr: match.VarExpr{Name: "x"}}}})
+			}
+		}
+		rules = append(rules, r)
+	}
+	// firingsFrom[l] is the total commits one layer-l tuple causes.
+	firingsFrom := make([]int, layers)
+	for l := layers - 1; l >= 0; l-- {
+		firingsFrom[l] = 1
+		if l < layers-1 {
+			firingsFrom[l] += fanout[l] * firingsFrom[l+1]
+		}
+	}
+	p := engine.Program{Rules: rules}
+	total := 0
+	for i := 0; i < width; i++ {
+		l := rng.Intn(layers)
+		total += firingsFrom[l]
+		p.WMEs = append(p.WMEs, engine.InitialWME{
+			Class: fmt.Sprintf("c%d", l),
+			// A tiny value domain, so duplicate-content tuples are common.
+			Attrs: attrs("v", rng.Intn(3)),
+		})
+	}
+	if anyHub || anyNeg(neg) {
+		p.WMEs = append(p.WMEs, engine.InitialWME{Class: "hub", Attrs: attrs("n", 0)})
+	}
+	return p, total
+}
+
+func anyNeg(neg []bool) bool {
+	for _, n := range neg {
+		if n {
+			return true
+		}
+	}
+	return false
+}

@@ -29,11 +29,13 @@ package pdps
 import (
 	"pdps/internal/core"
 	"pdps/internal/cr"
+	"pdps/internal/detsched"
 	"pdps/internal/engine"
 	"pdps/internal/lang"
 	"pdps/internal/lock"
 	"pdps/internal/match"
 	"pdps/internal/rete"
+	"pdps/internal/sched"
 	"pdps/internal/sim"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
@@ -213,6 +215,55 @@ const (
 
 // ErrInconsistent reports a semantic-consistency violation.
 var ErrInconsistent = engine.ErrInconsistent
+
+// Deterministic scheduling and testing (Options.Clock / Options.Sched).
+type (
+	// Clock supplies time to an engine: backoff timers and simulated
+	// rule costs go through it (Options.Clock).
+	Clock = sched.Clock
+	// Scheduler is the deterministic cooperative scheduler: set it as
+	// Options.Sched and call Engine.Run inside Scheduler.Run to make a
+	// whole concurrent run a pure function of a SchedPolicy.
+	Scheduler = sched.Det
+	// SchedPolicy decides which runnable task runs at each scheduling
+	// decision point.
+	SchedPolicy = sched.Policy
+	// SchedChoice records one scheduling decision for replay.
+	SchedChoice = sched.Choice
+	// DetConfig selects the engine variant a deterministic run tests.
+	DetConfig = detsched.Config
+	// DetOutcome is one deterministic run's result.
+	DetOutcome = detsched.RunOutcome
+	// ExploreReport summarises an exhaustive schedule exploration.
+	ExploreReport = detsched.ExploreReport
+)
+
+var (
+	// RealClock is the wall clock (the default).
+	RealClock = sched.Real{}
+	// ImmediateClock collapses every delay: sleeps return at once and
+	// timers fire immediately — fast deterministic-ish tests without a
+	// full scheduler.
+	ImmediateClock = sched.Immediate{}
+	// NewScheduler builds a deterministic scheduler around a policy.
+	NewScheduler = sched.NewDet
+	// NewRandomSchedPolicy is a seeded uniform-random schedule sampler;
+	// the same seed replays the same schedule bit-for-bit.
+	NewRandomSchedPolicy = sched.NewRandom
+	// NewPCTSchedPolicy is a PCT-style priority schedule sampler.
+	NewPCTSchedPolicy = sched.NewPCT
+	// NewReplaySchedPolicy replays a recorded decision script.
+	NewReplaySchedPolicy = sched.NewReplay
+	// DetRun executes a program once on the dynamic engine under a
+	// scheduling policy and returns the outcome.
+	DetRun = detsched.Run
+	// DetCheck validates a deterministic run's commit trace against the
+	// single-thread execution semantics.
+	DetCheck = detsched.Check
+	// Explore exhaustively enumerates every schedule of a small program
+	// and checks each trace (Definition 3.2 as a proof procedure).
+	Explore = detsched.Explore
+)
 
 // Engine runs a production-system program.
 type Engine interface {
