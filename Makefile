@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet metrics-check bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# metrics-check pins the observability layer: the golden snapshot of
+# the quickstart program under a replayed schedule (byte-identical
+# across runs), the detsched determinism proof, and the -race hammer
+# on live snapshots. Regenerate the golden file after an intentional
+# metrics change with:
+#   go test -run TestGoldenMetrics -update .
+metrics-check:
+	$(GO) test -run 'TestGoldenMetrics|TestExportedAPIDocumented' .
+	$(GO) test -run 'TestMetricsDeterministic|TestMetricsConflictCounters' ./internal/detsched
+	$(GO) test -race -run 'TestSnapshotDuringParallelRun|TestSerialEngineMetrics' ./internal/engine
+	$(GO) test -race ./internal/obs
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

@@ -7,6 +7,15 @@
 // EXPERIMENTS.md.
 //
 // Usage: psbench [-experiment all|e1|e2|...|e14] [-seeds N]
+//
+// With -metrics, the live-engine experiments (E12, and E13's live
+// counterpart sweep) annotate every run with figures read from the
+// engine's metrics registry — lock conflicts by Table 4.1 mode pair,
+// commit-time Rc victims, retries, lock-wait and commit-latency
+// histograms — so the EXPERIMENTS.md numbers are regenerable from
+// live counters rather than the run summary alone. With -metrics-dir
+// DIR, each such run's full metric snapshot is also written to
+// DIR/<experiment>-<run>.json.
 package main
 
 import (
@@ -14,13 +23,67 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"pdps"
 )
 
-var seeds = flag.Int("seeds", 25, "randomized trials per theorem validation")
+var (
+	seeds      = flag.Int("seeds", 25, "randomized trials per theorem validation")
+	metricsOn  = flag.Bool("metrics", false, "annotate live-engine experiments with metric-registry counters")
+	metricsDir = flag.String("metrics-dir", "", "write each live run's full metric snapshot as JSON into this directory")
+)
+
+// dumpMetrics reports one live run's registry-derived figures and, with
+// -metrics-dir, archives the full snapshot as <dir>/<id>-<run>.json.
+// It is a no-op unless -metrics or -metrics-dir is set, so the default
+// psbench output (the EXPERIMENTS.md source) is unchanged.
+func dumpMetrics(id, run string, eng pdps.Engine) {
+	if !*metricsOn && *metricsDir == "" {
+		return
+	}
+	snap := eng.Metrics().Snapshot()
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		b, err := snap.MarshalIndent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(*metricsDir, fmt.Sprintf("%s-%s.json", id, run))
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !*metricsOn {
+		return
+	}
+	var conflicts int64
+	for _, p := range snap.Counters {
+		if p.Name == "lock_conflicts_total" {
+			conflicts += p.Value
+		}
+	}
+	line := fmt.Sprintf("    metrics[%s]: conflicts=%d rc_victims=%d deadlocks=%d retries=%d",
+		run, conflicts,
+		snap.Counter("lock_rc_victims_total"),
+		snap.Counter("lock_deadlocks_total"),
+		snap.Counter("engine_retries_total"))
+	if h, ok := snap.Histogram("lock_wait_ns"); ok && h.Count > 0 {
+		line += fmt.Sprintf(" lock_wait{n=%d p50=%v p99=%v}",
+			h.Count, time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+	}
+	if h, ok := snap.Histogram("engine_commit_latency_ns"); ok && h.Count > 0 {
+		line += fmt.Sprintf(" commit_latency{mean=%v p99=%v}",
+			time.Duration(h.Mean()).Round(time.Microsecond),
+			time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+	}
+	fmt.Println(line)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -390,6 +453,7 @@ func e12() {
 		fmt.Printf("  %-16s %9d %8d %8d %12v %9.2f\n",
 			name, res.Firings, res.Aborts, res.Skips,
 			elapsed.Round(time.Millisecond), float64(base)/float64(elapsed))
+		dumpMetrics("e12", name, eng)
 	}
 }
 
@@ -430,6 +494,48 @@ func e13() {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %10d %9d %8d %8.2f\n", t2, res.TSingle, res.TMulti, res.Speedup())
+	}
+	if *metricsOn || *metricsDir != "" {
+		e13Live()
+	}
+}
+
+// e13Live is the live-engine counterpart of the Section 5 sweeps: the
+// simulator tables above predict speed-ups on abstract productions,
+// while this sweep measures the same two factors — processor count and
+// degree of conflict — on real engines and reads the outcome from the
+// metrics registry, so each table row is backed by an archivable
+// snapshot.
+func e13Live() {
+	delay := 2 * time.Millisecond
+	run := func(runName string, prog pdps.Program, np int) {
+		d := make(map[string]time.Duration, len(prog.Rules))
+		for _, r := range prog.Rules {
+			d[r.Name] = delay
+		}
+		eng, err := pdps.NewParallelEngine(prog, pdps.SchemeRcRaWa, pdps.Options{Np: np, RuleDelay: d})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := eng.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+			log.Fatalf("%s: INCONSISTENT: %v", runName, err)
+		}
+		fmt.Printf("  %-16s %9d %8d %12v\n", runName, res.Firings, res.Aborts, elapsed.Round(time.Millisecond))
+		dumpMetrics("e13", runName, eng)
+	}
+	fmt.Println("  live counterpart (Rc/Ra/Wa engine, per-rule action cost", delay, "):")
+	fmt.Printf("  %-16s %9s %8s %12s\n", "run", "commits", "aborts", "elapsed")
+	for _, np := range []int{1, 2, 4, 8} {
+		run(fmt.Sprintf("np%d", np), pdps.Pipeline(8, 3), np)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		run(fmt.Sprintf("conflict%d", workers), pdps.SharedCounter(workers, 3), 8)
 	}
 }
 

@@ -8,12 +8,20 @@
 // Flags select the engine ("single", "parallel", "static"), the lock
 // scheme for the parallel engine ("2pl", "rcrawa"), the conflict
 // resolution strategy, worker count, matcher and verbosity.
+//
+// Observability flags: -metrics prints a text dump of every metric
+// series after the run; -metrics-json prints the structured snapshot
+// as JSON; -metrics-http ADDR serves the live registry as
+// expvar-compatible JSON on ADDR/debug/vars while the run is in
+// flight. See docs/OBSERVABILITY.md for the metric catalog.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
@@ -37,6 +45,10 @@ func main() {
 		showTrace  = flag.Bool("trace", false, "print the full event trace")
 		showWM     = flag.Bool("wm", false, "print the final working memory")
 		dataDir    = flag.String("data", "", "durable directory: log every commit and checkpoint at exit")
+
+		showMetrics = flag.Bool("metrics", false, "print a text dump of the metrics registry after the run")
+		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON after the run")
+		metricsHTTP = flag.String("metrics-http", "", "serve live metrics as expvar JSON on this address (/debug/vars) during the run")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -99,6 +111,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *metricsHTTP != "" {
+		// expvar's init registers /debug/vars on the default mux; the
+		// published Func snapshots the registry on every scrape, so the
+		// endpoint is live while workers run.
+		expvar.Publish("pdps", eng.Metrics().Expvar())
+		go func() {
+			if err := http.ListenAndServe(*metricsHTTP, nil); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("metrics: http://%s/debug/vars\n", *metricsHTTP)
+	}
+
 	if durable != nil {
 		// Log the program's initial working memory as the first record
 		// so recovery replays onto an empty base.
@@ -136,6 +161,18 @@ func main() {
 			log.Fatalf("trace check FAILED: %v", err)
 		}
 		fmt.Println("trace check: consistent with single-thread semantics")
+	}
+	if *showMetrics || *metricsJSON {
+		snap := eng.Metrics().Snapshot()
+		if *metricsJSON {
+			b, err := snap.MarshalIndent()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Print(snap.Text())
+		}
 	}
 	if durable != nil {
 		if err := durable.Sync(); err != nil {

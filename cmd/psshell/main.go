@@ -11,6 +11,7 @@
 //	pdps> run 100                 fire up to 100 productions
 //	pdps> retract 3               remove WME with ID 3
 //	pdps> rules                   list rules
+//	pdps> metrics                 dump the session's metric counters
 //	pdps> save snapshot.wm        snapshot working memory
 //	pdps> quit
 package main
@@ -102,6 +103,7 @@ func (sh *shell) exec(out *os.File, line string) error {
   retract <id>       remove a tuple by ID
   step               fire one production (LEX selection)
   run [n]            fire up to n productions (default 1000)
+  metrics [json]     dump the session's metrics (text, or JSON snapshot)
   save <file>        write a working-memory snapshot
   load <file>        replace working memory from a snapshot
   quit`)
@@ -149,6 +151,17 @@ func (sh *shell) exec(out *os.File, line string) error {
 			return err
 		}
 		fmt.Fprintf(out, "fired %d productions\n", fired)
+	case "metrics":
+		snap := sh.session.Metrics().Snapshot()
+		if rest == "json" {
+			b, err := snap.MarshalIndent()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, string(b))
+		} else {
+			fmt.Fprint(out, snap.Text())
+		}
 	case "save":
 		f, err := os.Create(rest)
 		if err != nil {

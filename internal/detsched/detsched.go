@@ -28,6 +28,7 @@ import (
 
 	"pdps/internal/engine"
 	"pdps/internal/lock"
+	"pdps/internal/obs"
 	"pdps/internal/sched"
 	"pdps/internal/trace"
 )
@@ -91,6 +92,11 @@ type RunOutcome struct {
 	// Choices is the recorded decision sequence; replaying it through
 	// sched.NewReplay reproduces the schedule exactly.
 	Choices []sched.Choice
+	// Metrics is the engine's metric snapshot taken after the run. All
+	// durations flowed through the controller's virtual clock and all
+	// series are integral and sorted, so replaying the same schedule
+	// yields a byte-identical snapshot (see TestMetricsDeterministic).
+	Metrics obs.Snapshot
 }
 
 // Commits returns the outcome's commit events.
@@ -127,7 +133,8 @@ func Run(p engine.Program, cfg Config, policy sched.Policy) RunOutcome {
 	serr := ctl.Run(func() {
 		res, rerr = eng.Run()
 	})
-	return RunOutcome{Result: res, Err: rerr, SchedErr: serr, Choices: ctl.Choices()}
+	return RunOutcome{Result: res, Err: rerr, SchedErr: serr, Choices: ctl.Choices(),
+		Metrics: eng.Metrics().Snapshot()}
 }
 
 // Check validates an outcome: the schedule must have completed, the

@@ -17,6 +17,7 @@ import (
 	"pdps/internal/cr"
 	"pdps/internal/lock"
 	"pdps/internal/match"
+	"pdps/internal/obs"
 	"pdps/internal/rete"
 	"pdps/internal/sched"
 	"pdps/internal/trace"
@@ -111,6 +112,11 @@ type Options struct {
 	// Engine.Run must then be called from inside the controller's Run.
 	// Sched overrides Clock.
 	Sched sched.Controller
+	// Metrics is the obs registry every layer of the engine records
+	// into (lock manager, committer, matcher, working memory). Nil
+	// means a fresh registry per engine; pass a shared one to aggregate
+	// several engines into one snapshot.
+	Metrics *obs.Registry
 	// Log receives events; nil means a fresh log.
 	Log *trace.Log
 	// WAL, when non-nil, receives every committed working-memory delta
@@ -145,6 +151,9 @@ func (o *Options) withDefaults() Options {
 		out.Clock = out.Sched
 	} else if out.Clock == nil {
 		out.Clock = sched.Real{}
+	}
+	if out.Metrics == nil {
+		out.Metrics = obs.NewRegistry()
 	}
 	if out.Log == nil {
 		out.Log = trace.New()
@@ -204,18 +213,22 @@ func matcherFactory(name string) (func() match.Matcher, error) {
 }
 
 // load builds the store and matcher for a program: rules first, then
-// the initial working memory.
+// the initial working memory. Both are wired into the options'
+// metrics registry before the first insert, so even the initial load
+// is observable.
 func load(p Program, o Options) (*wm.Store, match.Matcher, error) {
-	m, err := newMatcher(o.Matcher, o.MatchShards)
+	inner, err := newMatcher(o.Matcher, o.MatchShards)
 	if err != nil {
 		return nil, nil, err
 	}
 	for _, r := range p.Rules {
-		if err := m.AddRule(r); err != nil {
+		if err := inner.AddRule(r); err != nil {
 			return nil, nil, err
 		}
 	}
+	m := match.Instrument(inner, o.Metrics, o.Clock)
 	store := wm.NewStore()
+	store.SetMetrics(o.Metrics)
 	for _, iw := range p.WMEs {
 		m.Insert(store.Insert(iw.Class, iw.Attrs))
 	}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pdps/internal/obs"
+)
+
+// ruleSeries holds one rule's labeled metric handles.
+type ruleSeries struct {
+	commits  *obs.Counter
+	aborts   *obs.Counter
+	commitNS *obs.Histogram
+}
+
+// engineMetrics holds the engine layer's cached obs handles. The run
+// counters (commits, aborts, skips, cycles) are atomics, so the Result
+// summary and a live Snapshot can both be read race-free while workers
+// run. Each tally is kept twice: the registry series (which may be
+// shared across engines via Options.Metrics and then aggregates) and a
+// private per-engine atomic that feeds Result and the MaxFirings
+// limit, which must not see another engine's commits.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	runCommits atomic.Int64
+	runAborts  atomic.Int64
+	runSkips   atomic.Int64
+	runCycles  atomic.Int64
+
+	commits *obs.Counter
+	aborts  *obs.Counter
+	skips   *obs.Counter
+	cycles  *obs.Counter
+	retries *obs.Counter
+
+	// commitNS is the fire→commit latency of successful parallel
+	// firings; applyNS times the commit critical section itself (delta
+	// apply + WAL + incremental re-match) in every engine.
+	commitNS *obs.Histogram
+	applyNS  *obs.Histogram
+	// journalBatch is the size (adds+removes) of each conflict-set
+	// change-journal batch the committer drains.
+	journalBatch *obs.Histogram
+
+	// dispatchQ and submitQ gauge the parallel pipeline's two queues.
+	dispatchQ *obs.Gauge
+	submitQ   *obs.Gauge
+
+	mu    sync.Mutex
+	rules map[string]*ruleSeries
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:          reg,
+		commits:      reg.Counter("engine_commits_total"),
+		aborts:       reg.Counter("engine_aborts_total"),
+		skips:        reg.Counter("engine_skips_total"),
+		cycles:       reg.Counter("engine_cycles_total"),
+		retries:      reg.Counter("engine_retries_total"),
+		commitNS:     reg.Histogram("engine_commit_latency_ns", "ns"),
+		applyNS:      reg.Histogram("engine_commit_apply_ns", "ns"),
+		journalBatch: reg.Histogram("engine_journal_batch_size", "changes"),
+		dispatchQ:    reg.Gauge("engine_dispatch_depth"),
+		submitQ:      reg.Gauge("engine_submit_depth"),
+		rules:        make(map[string]*ruleSeries),
+	}
+}
+
+func (em *engineMetrics) commitInc() { em.runCommits.Add(1); em.commits.Inc() }
+func (em *engineMetrics) abortInc()  { em.runAborts.Add(1); em.aborts.Inc() }
+func (em *engineMetrics) skipInc()   { em.runSkips.Add(1); em.skips.Inc() }
+func (em *engineMetrics) cycleInc()  { em.runCycles.Add(1); em.cycles.Inc() }
+
+// rule returns the per-rule series, creating it on first use. Taken on
+// commit/abort paths only, never inside a firing's lock section.
+func (em *engineMetrics) rule(name string) *ruleSeries {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	rs := em.rules[name]
+	if rs == nil {
+		rs = &ruleSeries{
+			commits:  em.reg.Counter("rule_commits_total", obs.L("rule", name)),
+			aborts:   em.reg.Counter("rule_aborts_total", obs.L("rule", name)),
+			commitNS: em.reg.Histogram("rule_commit_latency_ns", "ns", obs.L("rule", name)),
+		}
+		em.rules[name] = rs
+	}
+	return rs
+}

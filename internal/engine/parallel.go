@@ -9,8 +9,8 @@ import (
 
 	"pdps/internal/lock"
 	"pdps/internal/match"
+	"pdps/internal/obs"
 	"pdps/internal/sched"
-	"pdps/internal/stats"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
 )
@@ -68,13 +68,6 @@ type Parallel struct {
 	dispatched map[string]bool
 	retries    map[string]int
 
-	// latency records fire-to-commit durations of successful firings.
-	latency stats.Histogram
-	// dispatchQ and submitQ gauge the two pipeline queues: work
-	// awaiting a worker and results awaiting the committer.
-	dispatchQ stats.Gauge
-	submitQ   stats.Gauge
-
 	work   chan *match.Instantiation
 	events chan pevent
 	wg     sync.WaitGroup
@@ -126,12 +119,11 @@ type pevent struct {
 	reply chan struct{}
 }
 
-// FiringLatency returns the histogram of fire-to-commit latencies.
-func (e *Parallel) FiringLatency() *stats.Histogram { return &e.latency }
-
 // PipelineStats reports the commit pipeline's queue depths: the
 // dispatch queue (instantiations awaiting a worker) and the submit
 // queue (worker results awaiting the committer), with high-water marks.
+// It is a convenience view over the engine_dispatch_depth and
+// engine_submit_depth gauges of the engine's metrics registry.
 type PipelineStats struct {
 	DispatchDepth int64
 	DispatchPeak  int64
@@ -139,13 +131,16 @@ type PipelineStats struct {
 	SubmitPeak    int64
 }
 
-// PipelineStats returns the current pipeline queue gauges.
+// PipelineStats returns the current pipeline queue gauges. The
+// underlying series are atomic, so calling it while the run is in
+// flight is safe.
 func (e *Parallel) PipelineStats() PipelineStats {
+	met := e.rt.met
 	return PipelineStats{
-		DispatchDepth: e.dispatchQ.Value(),
-		DispatchPeak:  e.dispatchQ.Peak(),
-		SubmitDepth:   e.submitQ.Value(),
-		SubmitPeak:    e.submitQ.Peak(),
+		DispatchDepth: met.dispatchQ.Value(),
+		DispatchPeak:  met.dispatchQ.Peak(),
+		SubmitDepth:   met.submitQ.Value(),
+		SubmitPeak:    met.submitQ.Peak(),
 	}
 }
 
@@ -165,16 +160,25 @@ func NewParallel(p Program, scheme lock.Scheme, opts Options) (*Parallel, error)
 		dispatched: make(map[string]bool),
 		retries:    make(map[string]int),
 	}
+	e.lm.SetMetrics(rt.opts.Metrics)
+	e.lm.SetClock(rt.opts.Clock)
 	if rt.opts.Sched != nil {
 		e.ctl = rt.opts.Sched
 		e.lm.SetController(e.ctl)
 	}
-	if t, ok := rt.matcher.(match.ChangeTracker); ok {
+	// Probe ChangeTracker on the unwrapped matcher: the journal-drain
+	// protocol in refresh depends on what the real implementation does,
+	// not on an instrumentation wrapper's forwarding.
+	if t, ok := match.UnwrapMatcher(rt.matcher).(match.ChangeTracker); ok {
 		t.TrackChanges(true)
 		e.tracked = true
 	}
 	return e, nil
 }
+
+// Metrics returns the engine's metrics registry. Snapshots taken while
+// Run is in flight are race-free; per-series values are atomic.
+func (e *Parallel) Metrics() *obs.Registry { return e.rt.opts.Metrics }
 
 // Store exposes the engine's working memory.
 func (e *Parallel) Store() *wm.Store { return e.rt.store }
@@ -225,7 +229,7 @@ func (e *Parallel) Run() (Result, error) {
 				e.pending = e.pending[1:]
 			}
 		}
-		e.dispatchQ.Set(int64(len(e.pending)))
+		rt.met.dispatchQ.Set(int64(len(e.pending)))
 
 		if sendCh == nil && inflight == 0 && timers == 0 && (stop || len(e.pending) == 0) {
 			break
@@ -233,7 +237,7 @@ func (e *Parallel) Run() (Result, error) {
 
 		select {
 		case ev := <-e.events:
-			e.submitQ.Add(-1)
+			rt.met.submitQ.Add(-1)
 			di, dt := e.handleEvent(ev)
 			inflight += di
 			timers += dt
@@ -289,12 +293,12 @@ func (e *Parallel) runDet() (Result, error) {
 				e.ctl.Go("fire:"+in.Rule.Name, func() { e.fire(in) })
 			}
 		}
-		e.dispatchQ.Set(int64(len(e.pending)))
+		rt.met.dispatchQ.Set(int64(len(e.pending)))
 
 		if len(e.det.events) > 0 {
 			ev := e.det.events[0]
 			e.det.events = e.det.events[1:]
-			e.submitQ.Add(-1)
+			rt.met.submitQ.Add(-1)
 			di, dt := e.handleEvent(ev)
 			inflight += di
 			timers += dt
@@ -330,7 +334,7 @@ func (e *Parallel) handleEvent(ev pevent) (dInflight, dTimers int) {
 		dTimers = e.noteAbort(ev.in)
 	case evSkipped:
 		dInflight = -1
-		rt.skips++
+		rt.met.skipInc()
 		delete(e.dispatched, ev.in.Key())
 	case evRequeue:
 		dTimers = -1
@@ -346,7 +350,7 @@ func (e *Parallel) handleEvent(ev pevent) (dInflight, dTimers int) {
 
 // submit hands a worker-side event to the committer.
 func (e *Parallel) submit(ev pevent) {
-	e.submitQ.Add(1)
+	e.rt.met.submitQ.Add(1)
 	if e.det != nil {
 		e.det.events = append(e.det.events, ev)
 		if e.det.wake != nil {
@@ -386,6 +390,9 @@ func (e *Parallel) refresh(cs *match.ConflictSet) {
 	var removed []string
 	if e.tracked {
 		added, removed = cs.TakeChanges()
+		// Batch size of this journal drain — the O(|delta|) dispatch
+		// cost a commit pays instead of a conflict-set rescan.
+		rt.met.journalBatch.Observe(int64(len(added) + len(removed)))
 	} else {
 		added = cs.All()
 	}
@@ -440,7 +447,7 @@ func (e *Parallel) refresh(cs *match.ConflictSet) {
 		}
 	}
 	if queued > 0 {
-		rt.cycles++
+		rt.met.cycleInc()
 	}
 }
 
@@ -462,14 +469,15 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 	case rt.stopping():
 		ev.wtx.Abort()
 		e.logResolution(trace.KindSkip, ev, "engine stopping")
-		rt.skips++
+		rt.met.skipInc()
 		delete(e.dispatched, key)
 	default:
 		cs := rt.matcher.ConflictSet()
 		if !cs.Contains(key) || rt.fired[key] {
 			ev.wtx.Abort()
 			e.logResolution(trace.KindAbort, ev, "invalidated before commit")
-			rt.aborts++
+			rt.met.abortInc()
+			rt.met.rule(ev.in.Rule.Name).aborts.Inc()
 			e.deactivate(key)
 			delete(e.dispatched, key)
 			delete(e.retries, key)
@@ -483,11 +491,14 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 			} else {
 				e.logResolution(trace.KindAbort, ev, "commit error")
 			}
-			rt.aborts++
+			rt.met.abortInc()
+			rt.met.rule(ev.in.Rule.Name).aborts.Inc()
 			delete(e.dispatched, key)
 			break
 		}
-		e.latency.Observe(e.clock.Now().Sub(ev.start))
+		lat := e.clock.Now().Sub(ev.start)
+		rt.met.commitNS.ObserveDuration(lat)
+		rt.met.rule(ev.in.Rule.Name).commitNS.ObserveDuration(lat)
 		e.deactivate(key)
 		delete(e.dispatched, key)
 		delete(e.retries, key)
@@ -517,13 +528,15 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 // Returns 1 if a timer was armed.
 func (e *Parallel) noteAbort(in *match.Instantiation) int {
 	rt := e.rt
-	rt.aborts++
+	rt.met.abortInc()
+	rt.met.rule(in.Rule.Name).aborts.Inc()
 	k := in.Key()
 	e.retries[k]++
 	if rt.stopping() || rt.fired[k] || !e.activeHas(k) {
 		delete(e.dispatched, k)
 		return 0
 	}
+	rt.met.retries.Inc()
 	d := time.Duration(e.retries[k]) * 500 * time.Microsecond
 	if max := 50 * time.Millisecond; d > max {
 		d = max

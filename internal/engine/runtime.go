@@ -24,13 +24,14 @@ type runtime struct {
 	matcher match.Matcher
 	fired   map[string]bool // refraction: instantiation keys already fired
 
-	firings int
-	aborts  int
-	skips   int
-	cycles  int
-	halted  bool
-	limit   bool
-	err     error
+	// met holds the engine-layer metric handles; the run counters
+	// (commits/aborts/skips/cycles) are its atomic series, so a
+	// Snapshot taken while workers run reads consistent values.
+	met *engineMetrics
+
+	halted bool
+	limit  bool
+	err    error
 }
 
 // newRuntime loads the program and returns the shared engine state.
@@ -40,13 +41,17 @@ func newRuntime(p Program, opts Options) (*runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runtime{opts: o, store: store, matcher: m, fired: make(map[string]bool)}, nil
+	return &runtime{opts: o, store: store, matcher: m, fired: make(map[string]bool),
+		met: newEngineMetrics(o.Metrics)}, nil
 }
+
+// firings returns the committed-production count.
+func (rt *runtime) firings() int { return int(rt.met.runCommits.Load()) }
 
 // stopping reports whether the run must stop, latching the firing
 // limit on the way.
 func (rt *runtime) stopping() bool {
-	if rt.firings >= rt.opts.MaxFirings {
+	if rt.firings() >= rt.opts.MaxFirings {
 		rt.limit = true
 	}
 	return rt.halted || rt.limit || rt.err != nil
@@ -81,6 +86,7 @@ func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt b
 	if rt.opts.Verify && !verifyActive(rt.store, in) {
 		return fmt.Errorf("%w: %s committed while inactive", ErrInconsistent, key)
 	}
+	applyStart := rt.opts.Clock.Now()
 	delta, err := tx.Commit()
 	if err != nil {
 		return err
@@ -95,7 +101,9 @@ func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt b
 		rt.matcher.Insert(w)
 	}
 	rt.fired[key] = true
-	rt.firings++
+	rt.met.commitInc()
+	rt.met.rule(in.Rule.Name).commits.Inc()
+	rt.met.applyNS.ObserveDuration(rt.opts.Clock.Now().Sub(applyStart))
 	rt.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
 		Inst: key, Txn: txn, WMEs: fingerprints(in)})
 	if halt {
@@ -105,13 +113,13 @@ func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt b
 	return nil
 }
 
-// result assembles the run summary from the counters.
+// result assembles the run summary from the metric counters.
 func (rt *runtime) result() Result {
 	return Result{
-		Firings:  rt.firings,
-		Aborts:   rt.aborts,
-		Skips:    rt.skips,
-		Cycles:   rt.cycles,
+		Firings:  int(rt.met.runCommits.Load()),
+		Aborts:   int(rt.met.runAborts.Load()),
+		Skips:    int(rt.met.runSkips.Load()),
+		Cycles:   int(rt.met.runCycles.Load()),
 		Halted:   rt.halted,
 		LimitHit: rt.limit,
 		Log:      rt.opts.Log,

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pdps/internal/match"
+	"pdps/internal/obs"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
 )
@@ -30,6 +31,9 @@ func NewSession(p Program, opts Options) (*Session, error) {
 // Store exposes the session's working memory. Mutate it only through
 // the session so the matcher stays in sync.
 func (s *Session) Store() *wm.Store { return s.rt.store }
+
+// Metrics returns the session's metrics registry.
+func (s *Session) Metrics() *obs.Registry { return s.rt.opts.Metrics }
 
 // ConflictSet returns the current unfired instantiations.
 func (s *Session) ConflictSet() []*match.Instantiation {
@@ -99,15 +103,17 @@ func (s *Session) LoadSnapshot(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	m, err := newMatcher(s.rt.opts.Matcher, s.rt.opts.MatchShards)
+	inner, err := newMatcher(s.rt.opts.Matcher, s.rt.opts.MatchShards)
 	if err != nil {
 		return err
 	}
 	for _, rule := range s.rules {
-		if err := m.AddRule(rule); err != nil {
+		if err := inner.AddRule(rule); err != nil {
 			return err
 		}
 	}
+	m := match.Instrument(inner, s.rt.opts.Metrics, s.rt.opts.Clock)
+	store.SetMetrics(s.rt.opts.Metrics)
 	for _, w := range store.All() {
 		m.Insert(w)
 	}

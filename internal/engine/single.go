@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pdps/internal/match"
+	"pdps/internal/obs"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
 )
@@ -28,12 +29,15 @@ func NewSingle(p Program, opts Options) (*Single, error) {
 // Store exposes the engine's working memory (for inspection and tests).
 func (e *Single) Store() *wm.Store { return e.rt.store }
 
+// Metrics returns the engine's metrics registry.
+func (e *Single) Metrics() *obs.Registry { return e.rt.opts.Metrics }
+
 // Run executes recognize-act cycles until the conflict set holds no
 // unfired instantiation, a halt action executes, or MaxFirings is hit.
 func (e *Single) Run() (Result, error) {
 	rt := e.rt
 	for {
-		if rt.firings >= rt.opts.MaxFirings {
+		if rt.firings() >= rt.opts.MaxFirings {
 			rt.limit = true
 			return rt.result(), nil
 		}
@@ -41,7 +45,7 @@ func (e *Single) Run() (Result, error) {
 		if len(cands) == 0 {
 			return rt.result(), nil
 		}
-		rt.cycles++
+		rt.met.cycleInc()
 		in := rt.opts.Strategy.Select(cands)
 		key := in.Key()
 		rt.fired[key] = true

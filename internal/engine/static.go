@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"pdps/internal/match"
+	"pdps/internal/obs"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
 )
@@ -42,6 +43,9 @@ func NewStatic(p Program, opts Options) (*Static, error) {
 // Store exposes the engine's working memory.
 func (e *Static) Store() *wm.Store { return e.rt.store }
 
+// Metrics returns the engine's metrics registry.
+func (e *Static) Metrics() *obs.Registry { return e.rt.opts.Metrics }
+
 // Interferes reports the cached interference relation between two
 // rules (exposed for tests and the psbench harness).
 func (e *Static) Interferes(a, b string) bool { return e.interferes[a][b] }
@@ -51,7 +55,8 @@ func (e *Static) Interferes(a, b string) bool { return e.interferes[a][b] }
 func (e *Static) Run() (Result, error) {
 	rt := e.rt
 	for {
-		if rt.firings >= rt.opts.MaxFirings {
+		fired := rt.firings()
+		if fired >= rt.opts.MaxFirings {
 			rt.limit = true
 			return rt.result(), nil
 		}
@@ -59,10 +64,10 @@ func (e *Static) Run() (Result, error) {
 		if len(cands) == 0 {
 			return rt.result(), nil
 		}
-		rt.cycles++
+		rt.met.cycleInc()
 		batch := e.batch(cands)
-		if rt.firings+len(batch) > rt.opts.MaxFirings {
-			batch = batch[:rt.opts.MaxFirings-rt.firings]
+		if fired+len(batch) > rt.opts.MaxFirings {
+			batch = batch[:rt.opts.MaxFirings-fired]
 		}
 
 		// Execute the batch in parallel, each firing staging into its

@@ -42,7 +42,7 @@ func (p DeadlockPolicy) String() string {
 // should (re-)wait. Caller holds the registry mutex. Blockers already
 // aborted or ending are left alone — their locks are about to be
 // released, so the requester just waits for the broadcast.
-func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abortSelf bool) {
+func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]Mode) (abortSelf bool) {
 	settling := func(b TxnID) bool {
 		tx := m.reg.txns[b]
 		return tx == nil || tx.aborted || tx.ending
@@ -54,6 +54,7 @@ func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abort
 			if b > id && !settling(b) {
 				m.abortLocked(b, ErrDeadlock)
 				m.reg.deadlocks++
+				m.met.deadlock()
 			}
 		}
 		return false
@@ -62,6 +63,7 @@ func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abort
 		for b := range blockers {
 			if b < id && !settling(b) {
 				m.reg.deadlocks++
+				m.met.deadlock()
 				return true
 			}
 		}
@@ -70,6 +72,7 @@ func (m *Manager) resolveBlockedLocked(id TxnID, blockers map[TxnID]bool) (abort
 		if victim := m.findDeadlockVictimLocked(id); victim != 0 {
 			m.abortLocked(victim, ErrDeadlock)
 			m.reg.deadlocks++
+			m.met.deadlock()
 			if victim == id {
 				return true
 			}

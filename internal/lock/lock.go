@@ -25,6 +25,7 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"time"
 
 	"pdps/internal/sched"
 )
@@ -150,9 +151,9 @@ type txnState struct {
 	// released, so blocked requesters wait for the release broadcast
 	// instead of wounding it or dying because of it.
 	ending bool
-	// waitsOn is the set of transactions currently blocking this one;
-	// rebuilt on every blocked-acquire iteration.
-	waitsOn map[TxnID]bool
+	// waitsOn maps each transaction currently blocking this one to the
+	// lock mode it holds; rebuilt on every blocked-acquire iteration.
+	waitsOn map[TxnID]Mode
 	// waitCh, when non-nil, is the channel the transaction's Acquire is
 	// (about to be) blocked on; abortLocked signals it so a targeted
 	// abort reaches exactly the right waiter without touching any
@@ -218,6 +219,10 @@ type Manager struct {
 	// Acquire yields to it on entry (every lock request is a scheduling
 	// point) and parks through it instead of blocking natively.
 	ctl sched.Controller
+	// met, when non-nil, holds the cached obs metric handles; clock,
+	// when non-nil, times lock waits (virtual time under sched).
+	met   *metrics
+	clock sched.Clock
 
 	reg struct {
 		sync.Mutex
@@ -307,6 +312,7 @@ func (m *Manager) Begin() TxnID {
 	m.reg.nextID++
 	id := m.reg.nextID
 	m.reg.txns[id] = &txnState{id: id, held: make(map[Resource]Mode)}
+	m.met.begin()
 	return id
 }
 
@@ -325,6 +331,15 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 	}
 	s := m.shardFor(res.Class)
 	waited := false
+	conflicted := false
+	var waitStart time.Time
+	// finishWait closes out the queue-time measurement started when the
+	// request first blocked; called on every exit path.
+	finishWait := func() {
+		if waited && m.met != nil && m.clock != nil {
+			m.met.waitNS.ObserveDuration(m.clock.Now().Sub(waitStart))
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for {
@@ -334,11 +349,13 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 			tx.waitsOn = nil
 			err := tx.abortErr
 			m.reg.Unlock()
+			finishWait()
 			return err
 		}
 		if cur, held := tx.held[res]; held && cur >= mode {
 			tx.waitsOn = nil
 			m.reg.Unlock()
+			finishWait()
 			return nil
 		}
 		m.reg.Unlock()
@@ -349,7 +366,15 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 				// Wake others: the wait graph changed.
 				s.broadcastLocked()
 			}
+			finishWait()
 			return nil
+		}
+		if !conflicted {
+			// First time this request found itself blocked: record one
+			// conflict per blocking (held, requested) mode pair — the
+			// degree-of-conflict observable of Section 5.1.
+			m.met.conflict(blockers, mode)
+			conflicted = true
 		}
 		m.reg.Lock()
 		tx.waitsOn = blockers
@@ -357,6 +382,7 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 		if abortSelf {
 			tx.waitsOn = nil
 			m.reg.Unlock()
+			finishWait()
 			return ErrDeadlock
 		}
 		if tx.aborted {
@@ -381,6 +407,10 @@ func (m *Manager) Acquire(id TxnID, res Resource, mode Mode) error {
 			// retried checks are not double-counted.
 			s.waits++
 			waited = true
+			m.met.wait()
+			if m.clock != nil {
+				waitStart = m.clock.Now()
+			}
 		}
 		// Register with the shard before releasing its mutex: a release
 		// broadcast after this point signals ch, and one before it was
@@ -449,14 +479,16 @@ func (m *Manager) grantLocked(s *shard, tx *txnState, res Resource, mode Mode) {
 	tx.waitsOn = nil
 	m.reg.Unlock()
 	s.acquired++
+	m.met.grant(mode)
 }
 
-// blockersLocked returns the set of transactions whose held locks are
-// incompatible with the request, considering the tuple/relation
-// hierarchy. Caller holds s.mu; the class's tuple- and relation-level
-// entries all live in s.
-func (m *Manager) blockersLocked(s *shard, id TxnID, res Resource, mode Mode) map[TxnID]bool {
-	blockers := make(map[TxnID]bool)
+// blockersLocked returns the transactions whose held locks are
+// incompatible with the request, mapped to the strongest such held
+// mode (for the conflict-by-mode-pair metric), considering the
+// tuple/relation hierarchy. Caller holds s.mu; the class's tuple- and
+// relation-level entries all live in s.
+func (m *Manager) blockersLocked(s *shard, id TxnID, res Resource, mode Mode) map[TxnID]Mode {
+	blockers := make(map[TxnID]Mode)
 	collect := func(e *entry) {
 		if e == nil {
 			return
@@ -466,7 +498,9 @@ func (m *Manager) blockersLocked(s *shard, id TxnID, res Resource, mode Mode) ma
 				continue
 			}
 			if !Compatible(m.scheme, held, mode) {
-				blockers[hid] = true
+				if cur, ok := blockers[hid]; !ok || held > cur {
+					blockers[hid] = held
+				}
 			}
 		}
 	}
@@ -487,7 +521,7 @@ func (m *Manager) blockersLocked(s *shard, id TxnID, res Resource, mode Mode) ma
 // anySettlingLocked reports whether any of the transactions is aborted
 // or ending — i.e. its locks are about to be released. Caller holds
 // the registry mutex.
-func (m *Manager) anySettlingLocked(ids map[TxnID]bool) bool {
+func (m *Manager) anySettlingLocked(ids map[TxnID]Mode) bool {
 	for id := range ids {
 		tx := m.reg.txns[id]
 		if tx == nil || tx.aborted || tx.ending {
@@ -573,6 +607,7 @@ func (m *Manager) abortLocked(id TxnID, err error) {
 	tx.abortErr = err
 	tx.waitsOn = nil
 	m.reg.aborts++
+	m.met.txnAbort()
 	if tx.waitCh != nil {
 		signal(tx.waitCh)
 	}
@@ -653,6 +688,12 @@ func (m *Manager) RcVictims(id TxnID) []TxnID {
 		out = append(out, v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for range out {
+		// Each victim is one Rc–Wa conflict resolved at commit time
+		// (rule (ii)); count it into the same series a blocking scheme
+		// feeds, so "degree of conflict" is comparable across schemes.
+		m.met.rcVictim()
+	}
 	return out
 }
 

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0},
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{math.MaxInt64, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every positive sample must fall inside its bucket's [lo, hi).
+	for _, c := range cases {
+		if c.v <= 0 {
+			continue
+		}
+		lo, hi := BucketBounds(bucketIndex(c.v))
+		if c.v < lo || c.v >= hi && hi != math.MaxInt64 {
+			t.Errorf("sample %d outside bucket bounds [%d, %d)", c.v, lo, hi)
+		}
+	}
+	// Buckets tile the positive axis with no gaps or overlaps.
+	for i := 1; i < numBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Errorf("gap between bucket %d (hi=%d) and %d (lo=%d)", i, hi, i+1, lo)
+		}
+	}
+}
+
+func TestCounterOverflow(t *testing.T) {
+	var c Counter
+	c.Add(math.MaxInt64)
+	c.Inc()
+	if got := c.Value(); got != math.MinInt64 {
+		t.Errorf("counter after overflow = %d, want wraparound to %d", got, int64(math.MinInt64))
+	}
+}
+
+func TestGaugePeak(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(3)
+	g.Add(-6)
+	if v := g.Value(); v != 2 {
+		t.Errorf("Value = %d, want 2", v)
+	}
+	if p := g.Peak(); p != 8 {
+		t.Errorf("Peak = %d, want 8", p)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 113 {
+		t.Errorf("Sum = %d, want 113", h.Sum())
+	}
+	r := NewRegistry()
+	// Snapshot through a registry to exercise the point path.
+	rh := r.Histogram("h", "ns")
+	for _, v := range []int64{1, 2, 3, 100, 7} {
+		rh.Observe(v)
+	}
+	p, ok := r.Snapshot().Histogram("h")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if p.Min != 1 || p.Max != 100 {
+		t.Errorf("Min/Max = %d/%d, want 1/100", p.Min, p.Max)
+	}
+	if m := p.Mean(); m != 22 {
+		t.Errorf("Mean = %d, want 22", m)
+	}
+	if q := p.Quantile(1); q != 100 {
+		t.Errorf("Quantile(1) = %d, want 100 (clamped to max)", q)
+	}
+	if q := p.Quantile(0.5); q < 3 || q > 7 {
+		t.Errorf("Quantile(0.5) = %d, want in [3, 7]", q)
+	}
+}
+
+func TestObserveDurationClampsNegative(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(-time.Second)
+	if h.Sum() != 0 || h.Count() != 1 {
+		t.Errorf("negative duration recorded as sum=%d count=%d, want 0/1", h.Sum(), h.Count())
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix registry lookups with cached-handle updates so the
+			// get-or-create path races with readers under -race.
+			c := r.Counter("c", L("w", "shared"))
+			h := r.Histogram("h", "ns")
+			g := r.Gauge("g")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(int64(i%64 + 1))
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	// A reader snapshots concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := r.Snapshot()
+	if got := s.Counter("c", L("w", "shared")); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	p, _ := s.Histogram("h")
+	if p.Count != workers*per {
+		t.Errorf("histogram count = %d, want %d", p.Count, workers*per)
+	}
+	if p.Min != 1 || p.Max != 64 {
+		t.Errorf("Min/Max = %d/%d, want 1/64", p.Min, p.Max)
+	}
+	var n int64
+	for _, b := range p.Buckets {
+		n += b.N
+	}
+	if n != p.Count {
+		t.Errorf("bucket total = %d, want %d", n, p.Count)
+	}
+	if v, _ := s.Gauge("g"); v != 0 {
+		t.Errorf("gauge settled at %d, want 0", v)
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	build := func(order []string) []byte {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, L("k", "v")).Add(int64(len(name)))
+		}
+		r.Histogram("zh", "ns").Observe(42)
+		r.Gauge("ag").Set(7)
+		b, err := r.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := build([]string{"b", "a", "c"})
+	b := build([]string{"c", "b", "a"})
+	if !bytes.Equal(a, b) {
+		t.Errorf("snapshots differ by registration order:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestLabelCanonicalisation(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("c", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("c", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Error("label order created distinct series")
+	}
+	c3 := r.Counter("c", L("a", "1"))
+	if c3 == c1 {
+		t.Error("different label sets shared a series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestTextDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_commits_total", L("rule", "advance")).Add(3)
+	r.Gauge("engine_dispatch_depth").Set(2)
+	r.Histogram("lock_wait_ns", "ns").ObserveDuration(3 * time.Millisecond)
+	txt := r.Snapshot().Text()
+	for _, want := range []string{
+		"engine_commits_total{rule=advance}",
+		"engine_dispatch_depth",
+		"lock_wait_ns",
+		"3ms",
+	} {
+		if !bytes.Contains([]byte(txt), []byte(want)) {
+			t.Errorf("text dump missing %q:\n%s", want, txt)
+		}
+	}
+}

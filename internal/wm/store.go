@@ -42,6 +42,9 @@ type Store struct {
 
 	ixMu    sync.RWMutex
 	indexes map[string]*Index
+
+	// met, when non-nil, counts per-class reads and writes (obs).
+	met *storeMetrics
 }
 
 // NewStore returns an empty working memory.
@@ -95,6 +98,7 @@ func (s *Store) add(w *WME) {
 	s.notifyIndexesAdd(w)
 	sh.mu.Unlock()
 	s.count.Add(1)
+	s.met.write(w.Class)
 }
 
 // Insert creates a WME with the given class and attributes, assigns it
@@ -111,7 +115,9 @@ func (s *Store) Get(id int64) (*WME, bool) {
 	if !ok {
 		return nil, false
 	}
-	return v.(*WME), true
+	w := v.(*WME)
+	s.met.read(w.Class)
+	return w, true
 }
 
 // Remove deletes the WME with the given ID and returns the removed
@@ -131,6 +137,7 @@ func (s *Store) Remove(id int64) (*WME, bool) {
 	s.removeShardLocked(sh, cur)
 	sh.mu.Unlock()
 	s.count.Add(-1)
+	s.met.write(cur.Class)
 	return cur, true
 }
 
@@ -170,6 +177,7 @@ func (s *Store) Modify(id int64, updates map[string]Value) (old, new_ *WME, err 
 	s.notifyIndexesRemove(cur)
 	s.notifyIndexesAdd(n)
 	sh.mu.Unlock()
+	s.met.write(class)
 	return cur, n, nil
 }
 
@@ -250,6 +258,14 @@ func (s *Store) Apply(d *Delta) (*Delta, error) {
 		sh.mu.Unlock()
 	}
 	s.count.Add(int64(len(adds)) - int64(len(removes)))
+	if s.met != nil {
+		for _, w := range removes {
+			s.met.write(w.Class)
+		}
+		for _, w := range adds {
+			s.met.write(w.Class)
+		}
+	}
 	return &Delta{Removes: removes, Adds: adds}, nil
 }
 
@@ -266,6 +282,7 @@ func (s *Store) ByClass(class string) []*WME {
 	}
 	sh.mu.RUnlock()
 	sortWMEs(out)
+	s.met.read(class)
 	return out
 }
 

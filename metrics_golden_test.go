@@ -1,0 +1,66 @@
+package pdps_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pdps"
+)
+
+// TestGoldenMetrics pins the full metric snapshot of a deterministic
+// run: the quickstart program on the dynamic engine under a replayed
+// schedule, with per-rule costs on the virtual clock so every duration
+// histogram has non-zero, schedule-determined values. The snapshot is
+// a pure function of the schedule — counters and histograms do only
+// order-independent integral arithmetic and all timing flows through
+// the controller's clock — so any drift in this file is a change to
+// what the engine observes, not measurement noise. Regenerate with
+// -update. The same program and flags back the README observability
+// quickstart and the `make metrics-check` CI target.
+func TestGoldenMetrics(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "examples", "quickstart.ops"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := pdps.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delays := make(map[string]time.Duration, len(prog.Rules))
+	for _, r := range prog.Rules {
+		delays[r.Name] = time.Millisecond
+	}
+	cfg := pdps.DetConfig{
+		Scheme:    pdps.SchemeRcRaWa,
+		Np:        2,
+		CondDelay: delays,
+		RuleDelay: delays,
+	}
+	out := pdps.DetRun(prog, cfg, pdps.NewReplaySchedPolicy(nil))
+	if err := pdps.DetCheck(prog, out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Metrics.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join("testdata", "golden", "metrics_quickstart.json")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -run TestGoldenMetrics -update)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("metric snapshot diverged from %s (regenerate with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+			goldenPath, got, want)
+	}
+}

@@ -24,6 +24,18 @@
 //	  (wme greeting ^to world)`)
 //	eng, _ := pdps.NewSingleEngine(prog, pdps.Options{})
 //	res, _ := eng.Run()
+//
+// Observability: every engine carries a metrics registry recording
+// the quantities Section 5's factor analysis argues about — lock
+// conflicts by mode pair (Table 4.1), commit-time Rc victims (rule
+// (ii)), abort/retry counts, lock-wait and commit-latency histograms,
+// match and working-memory traffic. Take a structured snapshot at any
+// time, even mid-run:
+//
+//	snap := eng.Metrics().Snapshot()
+//	fmt.Println(snap.Counter("engine_commits_total"))
+//
+// See docs/OBSERVABILITY.md for the full metric catalog.
 package pdps
 
 import (
@@ -34,6 +46,7 @@ import (
 	"pdps/internal/lang"
 	"pdps/internal/lock"
 	"pdps/internal/match"
+	"pdps/internal/obs"
 	"pdps/internal/rete"
 	"pdps/internal/sched"
 	"pdps/internal/sim"
@@ -184,15 +197,58 @@ const (
 // (Table 4.1 for SchemeRcRaWa).
 var LockCompatible = lock.Compatible
 
-// LockStats carries the lock manager's counters, including per-shard
-// acquire/wait counts; the dynamic engine exposes them through its
-// LockStats method.
+// LockStats carries the lock manager's legacy counters, including the
+// per-shard acquire/wait counts (shard assignment is seeded per
+// manager, so these are diagnostics, not replay-stable metrics); the
+// dynamic engine exposes them through its LockStats method. The
+// deterministic equivalents live in the metrics registry as the
+// lock_* series.
 type LockStats = lock.Stats
 
 // PipelineStats carries the dynamic engine's commit-pipeline queue
-// depths (dispatch and submit, with peaks); the dynamic engine exposes
-// them through its PipelineStats method.
+// depths (dispatch and submit, with peaks). It is a convenience view
+// over the engine_dispatch_depth and engine_submit_depth gauges of
+// Engine.Metrics, which supersedes it: a MetricsSnapshot carries the
+// same depths plus every other series. The underlying gauges are
+// atomic, so reading them while workers run is race-free.
 type PipelineStats = engine.PipelineStats
+
+// Observability (the engine metrics layer).
+type (
+	// Metrics is an engine's metric registry: atomic counters,
+	// peak-tracking gauges, and lock-free log-scale histograms,
+	// recorded into by the lock manager, the committer, the matcher
+	// and working memory. Obtain it with Engine.Metrics; snapshot it
+	// at any time, including mid-run.
+	Metrics = obs.Registry
+	// MetricsSnapshot is a structured, JSON-marshalable view of every
+	// metric series at one moment. Series are sorted, all values are
+	// integral, and all durations flow through Options.Clock, so under
+	// a deterministic scheduler two replays of the same schedule
+	// marshal to byte-identical snapshots.
+	MetricsSnapshot = obs.Snapshot
+	// MetricLabel is one key=value dimension of a metric series (e.g.
+	// rule=advance, modes=Rc/Wa, class=part).
+	MetricLabel = obs.Label
+	// MetricPoint types of a snapshot.
+
+	// CounterPoint is a counter's snapshot value.
+	CounterPoint = obs.CounterPoint
+	// GaugePoint is a gauge's snapshot value and peak.
+	GaugePoint = obs.GaugePoint
+	// HistogramPoint is a histogram's snapshot: count, sum, extrema
+	// and the non-empty log-scale buckets.
+	HistogramPoint = obs.HistogramPoint
+)
+
+// NewMetricLabel constructs a MetricLabel for snapshot lookups, e.g.
+// snap.Counter("lock_conflicts_total", pdps.NewMetricLabel("modes", "Rc/Wa")).
+var NewMetricLabel = obs.L
+
+// NewMetrics returns an empty metrics registry. Pass it as
+// Options.Metrics to aggregate several engines into one snapshot; by
+// default each engine creates its own.
+var NewMetrics = obs.NewRegistry
 
 // DeadlockPolicy selects the dynamic engine's deadlock handling.
 type DeadlockPolicy = lock.DeadlockPolicy
@@ -265,12 +321,20 @@ var (
 	Explore = detsched.Explore
 )
 
-// Engine runs a production-system program.
+// Engine runs a production-system program. Implementations are the
+// single execution thread mechanism (Section 3.1, the ES_single
+// reference semantics), the dynamic locking mechanism (Sections
+// 4.2–4.3) and the static interference-partition mechanism
+// (Section 4.1, Theorem 1); all commit sequences they produce satisfy
+// the semantic-consistency condition of Definition 3.2.
 type Engine interface {
 	// Run executes the program to quiescence, halt, error or limit.
 	Run() (Result, error)
 	// Store returns the engine's working memory.
 	Store() *Store
+	// Metrics returns the engine's metrics registry. Snapshots taken
+	// while Run is in flight are race-free.
+	Metrics() *Metrics
 }
 
 // NewSingleEngine builds the single execution thread interpreter.
