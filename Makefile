@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet metrics-check bench
+.PHONY: all build test race vet metrics-check bench bench-smoke
 
 all: build vet test
 
@@ -29,4 +29,10 @@ metrics-check:
 	$(GO) test -race ./internal/obs
 
 bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-smoke is the CI guard: one iteration of every benchmark, so a
+# bench that breaks (bad firing count, matcher divergence, panic)
+# fails the build even though no timing is collected.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -41,6 +41,9 @@ type Config struct {
 	Np int
 	// Matcher is the match algorithm; "" means rete.
 	Matcher string
+	// MatchShards, when above 1, shards the matcher for intra-phase
+	// match parallelism (engine.Options.MatchShards).
+	MatchShards int
 	// Deadlock is the lock manager's deadlock policy.
 	Deadlock lock.DeadlockPolicy
 	// Abort is the Rc-victim policy.
@@ -75,6 +78,9 @@ func (c Config) String() string {
 	m := c.Matcher
 	if m == "" {
 		m = "rete"
+	}
+	if c.MatchShards > 1 {
+		m = fmt.Sprintf("%s×%d", m, c.MatchShards)
 	}
 	return fmt.Sprintf("scheme=%s np=%d matcher=%s deadlock=%s abort=%s",
 		c.Scheme, c.np(), m, c.Deadlock, c.Abort)
@@ -116,6 +122,7 @@ func Run(p engine.Program, cfg Config, policy sched.Policy) RunOutcome {
 	ctl.MaxSteps = cfg.maxDecisions()
 	opts := engine.Options{
 		Matcher:     cfg.Matcher,
+		MatchShards: cfg.MatchShards,
 		Np:          cfg.np(),
 		Deadlock:    cfg.Deadlock,
 		AbortPolicy: cfg.Abort,

@@ -65,8 +65,9 @@ func (p AbortPolicy) String() string {
 // Options configures an engine. The zero value selects Rete matching,
 // the LEX strategy, and a 10000-firing safety bound.
 type Options struct {
-	// Matcher selects the match algorithm: "rete" (default), "treat"
-	// or "naive".
+	// Matcher selects the match algorithm: "rete" (default), "treat",
+	// "naive", or "rete-linear" (Rete without hashed memories — the
+	// unindexed baseline kept for experiments and oracle checks).
 	Matcher string
 	// MatchShards, when above 1, enables intra-phase match parallelism
 	// (Section 2): rules are partitioned across that many matcher
@@ -204,6 +205,8 @@ func matcherFactory(name string) (func() match.Matcher, error) {
 	switch name {
 	case "rete":
 		return func() match.Matcher { return rete.New() }, nil
+	case "rete-linear":
+		return func() match.Matcher { return rete.NewLinear() }, nil
 	case "treat":
 		return func() match.Matcher { return treat.New() }, nil
 	case "naive":
@@ -220,6 +223,12 @@ func load(p Program, o Options) (*wm.Store, match.Matcher, error) {
 	inner, err := newMatcher(o.Matcher, o.MatchShards)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Matchers with internal instrumentation (Rete's index probe/scan
+	// counters, the sharded merge histogram) wire into the shared
+	// registry; match.Instrument below adds the generic op timings.
+	if sm, ok := inner.(interface{ SetMetrics(*obs.Registry) }); ok {
+		sm.SetMetrics(o.Metrics)
 	}
 	for _, r := range p.Rules {
 		if err := inner.AddRule(r); err != nil {

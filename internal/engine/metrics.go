@@ -43,6 +43,12 @@ type engineMetrics struct {
 	// journalBatch is the size (adds+removes) of each conflict-set
 	// change-journal batch the committer drains.
 	journalBatch *obs.Histogram
+	// refreshSnapshot and refreshDelta count which reconciliation
+	// branch each refresh took: a full-membership rebuild versus the
+	// O(|delta|) journal drain. A healthy incremental pipeline takes
+	// the snapshot branch once (startup) and deltas thereafter.
+	refreshSnapshot *obs.Counter
+	refreshDelta    *obs.Counter
 
 	// dispatchQ and submitQ gauge the parallel pipeline's two queues.
 	dispatchQ *obs.Gauge
@@ -62,7 +68,9 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		retries:      reg.Counter("engine_retries_total"),
 		commitNS:     reg.Histogram("engine_commit_latency_ns", "ns"),
 		applyNS:      reg.Histogram("engine_commit_apply_ns", "ns"),
-		journalBatch: reg.Histogram("engine_journal_batch_size", "changes"),
+		journalBatch:    reg.Histogram("engine_journal_batch_size", "changes"),
+		refreshSnapshot: reg.Counter("engine_refresh_snapshot_total"),
+		refreshDelta:    reg.Counter("engine_refresh_delta_total"),
 		dispatchQ:    reg.Gauge("engine_dispatch_depth"),
 		submitQ:      reg.Gauge("engine_submit_depth"),
 		rules:        make(map[string]*ruleSeries),

@@ -402,6 +402,7 @@ func (e *Parallel) refresh(cs *match.ConflictSet) {
 	// a function of the program alone.
 	sort.Slice(added, func(i, j int) bool { return added[i].Key() < added[j].Key() })
 	if !e.tracked || (len(removed) == 0 && len(added) == cs.Len()) {
+		rt.met.refreshSnapshot.Inc()
 		// Snapshot reconcile: added holds the complete membership.
 		act := make(map[string]bool, len(added))
 		for _, in := range added {
@@ -419,6 +420,7 @@ func (e *Parallel) refresh(cs *match.ConflictSet) {
 			}
 		}
 	} else {
+		rt.met.refreshDelta.Inc()
 		e.activeMu.Lock()
 		for _, k := range removed {
 			if !cs.Contains(k) {

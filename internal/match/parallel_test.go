@@ -72,6 +72,83 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 	}
 }
 
+// TestShardedTrackChangesTrueDeltas pins the delta contract of the
+// multi-shard matcher: after the initial drain, TakeChanges on the
+// merged conflict set yields exactly the membership changes since the
+// last ConflictSet call — not the full membership — even though the
+// naive shards underneath rebuild and journal their whole set per call.
+func TestShardedTrackChangesTrueDeltas(t *testing.T) {
+	sh := NewSharded(3, func() Matcher { return NewNaive() })
+	for i := 0; i < 5; i++ {
+		if err := sh.AddRule(shardRule(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.TrackChanges(true)
+	s := wm.NewStore()
+	shared := s.Insert("shared", map[string]wm.Value{"v": wm.Int(1)})
+	w0 := s.Insert("c0", map[string]wm.Value{"v": wm.Int(1)})
+	sh.Insert(shared)
+	sh.Insert(w0)
+	cs := sh.ConflictSet()
+	added, removed := cs.TakeChanges()
+	// Initial drain: everything is new, so full membership is correct.
+	if len(removed) != 0 || len(added) != cs.Len() || cs.Len() == 0 {
+		t.Fatalf("initial drain: %d added %d removed, len %d", len(added), len(removed), cs.Len())
+	}
+	before := cs.Len()
+
+	// One insertion enables strictly more matches: the journal must
+	// contain only the new instantiations.
+	w1 := s.Insert("c1", map[string]wm.Value{"v": wm.Int(1)})
+	sh.Insert(w1)
+	cs = sh.ConflictSet()
+	added, removed = cs.TakeChanges()
+	if len(removed) != 0 {
+		t.Fatalf("insert journaled removals: %v", removed)
+	}
+	if len(added) == 0 || len(added) != cs.Len()-before {
+		t.Fatalf("insert journaled %d additions, want %d (full membership would be %d)",
+			len(added), cs.Len()-before, cs.Len())
+	}
+	for _, in := range added {
+		if !in.Uses(w1) {
+			t.Fatalf("journaled addition %v does not use the new WME", in)
+		}
+	}
+
+	// A removal must journal only the lost instantiations.
+	grown := cs.Len()
+	sh.Remove(w1)
+	cs = sh.ConflictSet()
+	added, removed = cs.TakeChanges()
+	if len(added) != 0 {
+		t.Fatalf("remove journaled additions: %v", added)
+	}
+	if len(removed) != grown-cs.Len() || len(removed) == 0 {
+		t.Fatalf("remove journaled %d removals, want %d", len(removed), grown-cs.Len())
+	}
+
+	// An idle call journals nothing at all.
+	cs = sh.ConflictSet()
+	if added, removed = cs.TakeChanges(); len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("idle call journaled %d/%d changes", len(added), len(removed))
+	}
+}
+
+// TestShardedMergedSetStable verifies ConflictSet returns the same
+// cached set across calls for a multi-shard matcher, so journaling
+// state survives between drains.
+func TestShardedMergedSetStable(t *testing.T) {
+	sh := NewSharded(2, func() Matcher { return NewNaive() })
+	if err := sh.AddRule(shardRule(0)); err != nil {
+		t.Fatal(err)
+	}
+	if sh.ConflictSet() != sh.ConflictSet() {
+		t.Fatal("merged conflict set is rebuilt per call")
+	}
+}
+
 func TestShardedDuplicateRuleRejected(t *testing.T) {
 	sh := NewSharded(3, func() Matcher { return NewNaive() })
 	if err := sh.AddRule(shardRule(0)); err != nil {

@@ -78,6 +78,46 @@ func BenchmarkChurn(b *testing.B) {
 	})
 }
 
+// BenchmarkJoinDepth isolates the cost the hashed memories remove: a
+// four-deep equality chain over resident reference classes of 256
+// keys each. Every c0 insert activates the whole chain; the linear
+// network scans each opposite memory in full (O(keys) per level)
+// while the indexed network probes single-entry buckets. This is the
+// E17 ≥2× acceptance benchmark (EXPERIMENTS.md).
+func BenchmarkJoinDepth(b *testing.B) {
+	const keys, depth = 256, 4
+	for _, v := range []struct {
+		name string
+		mk   func() match.Matcher
+	}{
+		{"indexed", func() match.Matcher { return New() }},
+		{"linear", func() match.Matcher { return NewLinear() }},
+		{"treat", func() match.Matcher { return treat.New() }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			m := v.mk()
+			if err := m.AddRule(chainRule("chain", depth)); err != nil {
+				b.Fatal(err)
+			}
+			s := wm.NewStore()
+			for k := 0; k < keys; k++ {
+				for l := 1; l < depth; l++ {
+					m.Insert(s.Insert(fmt.Sprintf("c%d", l), map[string]wm.Value{"k": wm.Int(int64(k))}))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := s.Insert("c0", map[string]wm.Value{"k": wm.Int(int64(i % keys))})
+				m.Insert(w)
+				if m.ConflictSet().Len() != 1 {
+					b.Fatal("chain did not match")
+				}
+				m.Remove(w)
+			}
+		})
+	}
+}
+
 // BenchmarkAddRuleSeeding measures late rule addition against a
 // populated working memory (the update-from-above path).
 func BenchmarkAddRuleSeeding(b *testing.B) {

@@ -84,7 +84,7 @@ func (n *Network) AddRule(r *match.Rule) error {
 		amem := n.alphaMemFor(c.Class, consts, intras, presence)
 
 		if c.Negated {
-			neg := &negNode{net: n, amem: amem, tests: joins}
+			neg := newNegNode(n, amem, joins)
 			source.addChildSink(neg)
 			amem.successors = append(amem.successors, neg)
 			for _, t := range source.validTokens() {
@@ -109,7 +109,7 @@ func (n *Network) AddRule(r *match.Rule) error {
 			nextMem = &memNode{net: n}
 			out = nextMem
 		}
-		join := &joinNode{parent: source, amem: amem, tests: joins, out: out}
+		join := newJoinNode(n, source, amem, joins, out)
 		source.addChildSink(join)
 		amem.successors = append(amem.successors, join)
 		for _, t := range source.validTokens() {

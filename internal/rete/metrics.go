@@ -1,0 +1,43 @@
+package rete
+
+import "pdps/internal/obs"
+
+// netMetrics caches the network's obs handles. All nil-safe through
+// the Network helpers: an unwired network (SetMetrics never called)
+// pays one nil check per activation.
+type netMetrics struct {
+	// probes counts activations answered from a hash index; bucket
+	// records the size of the probed bucket (the work an activation
+	// actually did).
+	probes *obs.Counter
+	bucket *obs.Histogram
+	// scans counts activations that fell back to a linear scan (the
+	// node has no equality test), and scanned the candidates examined.
+	scans   *obs.Counter
+	scanned *obs.Counter
+}
+
+// SetMetrics wires the network's index/scan counters into the
+// registry. Call before inserting WMEs to observe the initial load.
+func (n *Network) SetMetrics(reg *obs.Registry) {
+	n.met = &netMetrics{
+		probes:  reg.Counter("rete_index_probes_total"),
+		bucket:  reg.Histogram("rete_index_bucket_size", "candidates"),
+		scans:   reg.Counter("rete_index_scans_total"),
+		scanned: reg.Counter("rete_scan_candidates_total"),
+	}
+}
+
+func (n *Network) metProbe(bucketLen int) {
+	if n.met != nil {
+		n.met.probes.Inc()
+		n.met.bucket.Observe(int64(bucketLen))
+	}
+}
+
+func (n *Network) metScan(candidates int) {
+	if n.met != nil {
+		n.met.scans.Inc()
+		n.met.scanned.Add(int64(candidates))
+	}
+}

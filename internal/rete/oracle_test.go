@@ -93,7 +93,14 @@ func randomWME(rng *rand.Rand, s *wm.Store) *wm.WME {
 	a := map[string]wm.Value{}
 	for i := 0; i < 3; i++ {
 		if rng.Intn(3) > 0 {
-			a[fmt.Sprintf("a%d", i)] = wm.Int(int64(rng.Intn(4)))
+			v := int64(rng.Intn(4))
+			// Mix kinds: ints and numerically-equal floats must collide
+			// in the hash indexes exactly as Value.Equal says they do.
+			if rng.Intn(4) == 0 {
+				a[fmt.Sprintf("a%d", i)] = wm.Float(float64(v))
+			} else {
+				a[fmt.Sprintf("a%d", i)] = wm.Int(v)
+			}
 		}
 	}
 	return s.Insert(fmt.Sprintf("c%d", rng.Intn(4)), a)
@@ -112,14 +119,34 @@ func sameConflictSets(t *testing.T, seed int64, a, b *match.ConflictSet) {
 	}
 }
 
-// TestReteMatchesNaiveOracle drives Rete and the naive matcher with
-// identical random rule sets and random insert/remove streams and
-// requires identical conflict sets after every step.
+// constructors are the network variants every oracle test must agree
+// on: hashed memories (the default) and the unindexed linear fallback.
+var constructors = []struct {
+	name  string
+	build func() match.Matcher
+}{
+	{"indexed", func() match.Matcher { return New() }},
+	{"linear", func() match.Matcher { return NewLinear() }},
+	{"sharded-indexed", func() match.Matcher {
+		return match.NewSharded(3, func() match.Matcher { return New() })
+	}},
+}
+
+// TestReteMatchesNaiveOracle drives each Rete variant (indexed,
+// linear, and indexed behind a multi-shard wrapper) and the naive
+// matcher with identical random rule sets and random insert/remove
+// streams and requires identical conflict sets after every step.
 func TestReteMatchesNaiveOracle(t *testing.T) {
+	for _, ctor := range constructors {
+		t.Run(ctor.name, func(t *testing.T) { reteOracle(t, ctor.build) })
+	}
+}
+
+func reteOracle(t *testing.T, build func() match.Matcher) {
 	for seed := int64(0); seed < 40; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		s := wm.NewStore()
-		rete := New()
+		rete := build()
 		naive := match.NewNaive()
 		for i := 0; i < 1+rng.Intn(4); i++ {
 			r := randomRule(rng, fmt.Sprintf("r%d", i))
@@ -150,12 +177,19 @@ func TestReteMatchesNaiveOracle(t *testing.T) {
 }
 
 // TestReteLateRuleMatchesNaive checks rule addition after working
-// memory is populated (seeding path) against the oracle.
+// memory is populated (the index-seeding path) against the oracle,
+// for every network variant.
 func TestReteLateRuleMatchesNaive(t *testing.T) {
+	for _, ctor := range constructors {
+		t.Run(ctor.name, func(t *testing.T) { reteLateRuleOracle(t, ctor.build) })
+	}
+}
+
+func reteLateRuleOracle(t *testing.T, build func() match.Matcher) {
 	for seed := int64(100); seed < 130; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		s := wm.NewStore()
-		rete := New()
+		rete := build()
 		naive := match.NewNaive()
 		var live []*wm.WME
 		for i := 0; i < 20; i++ {

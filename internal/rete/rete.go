@@ -4,7 +4,9 @@
 // variable-consistency tests, negative nodes for negated condition
 // elements, and token-tree deletion so removals are as incremental as
 // insertions. Structure follows Doorenbos's "Production Matching for
-// Large Learning Systems" basic algorithm, without unlinking.
+// Large Learning Systems" basic algorithm with hashed alpha and beta
+// memories (see index.go), without unlinking. NewLinear builds the
+// unindexed basic algorithm for comparison.
 package rete
 
 import (
@@ -51,9 +53,13 @@ func (t *token) up(n int) *token {
 
 // tokenSink consumes completed tokens of the previous level (left
 // activation): join nodes, negative nodes, and production nodes (when
-// the last condition element is negated).
+// the last condition element is negated). onTokenGone retracts a token
+// previously delivered via onToken so indexed joins can unhook it; it
+// fires after the token's own descendants have been deleted, so sinks
+// that keep no index of upstream tokens ignore it.
 type tokenSink interface {
 	onToken(t *token)
+	onTokenGone(t *token)
 }
 
 // pairSink consumes (parent token, matching WME) pairs emitted by join
@@ -62,9 +68,11 @@ type pairSink interface {
 	receive(parent *token, w *wm.WME)
 }
 
-// alphaSink is right-activated when a WME enters an alpha memory.
+// alphaSink is right-activated when a WME enters an alpha memory and
+// right-retracted when it leaves, so indexed nodes can unhook it.
 type alphaSink interface {
 	rightActivate(w *wm.WME)
+	rightRetract(w *wm.WME)
 }
 
 // joinTest compares an attribute of the candidate WME against an
@@ -126,8 +134,11 @@ func (m *memNode) removeToken(t *token) {
 	for i, x := range m.items {
 		if x == t {
 			m.items = append(m.items[:i], m.items[i+1:]...)
-			return
+			break
 		}
+	}
+	for _, c := range m.children {
+		c.onTokenGone(t)
 	}
 }
 
@@ -141,38 +152,144 @@ type betaSource interface {
 func (m *memNode) addChildSink(s tokenSink) { m.children = append(m.children, s) }
 
 // joinNode joins its parent's tokens with its alpha memory's WMEs.
+// When the join has equality tests (eq non-empty) both sides are kept
+// in hash indexes bucketed by the tested values, so each activation
+// probes one bucket; otherwise it scans the opposite memory linearly.
 type joinNode struct {
+	net    *Network
 	parent betaSource
 	amem   *alphaMem
 	tests  []joinTest
 	out    pairSink
+
+	eq    []joinTest
+	left  map[string][]*token  // parent tokens by token-side key
+	right map[string][]*wm.WME // alpha WMEs by WME-side key
+	kbuf  []byte               // reusable key scratch; activations are single-threaded per network
+}
+
+// newJoinNode builds a join over the already-populated alpha memory,
+// seeding the WME-side index when the join is indexable. The token
+// side starts empty: the compiler left-activates it with every
+// existing upstream token, which fills the index through onToken.
+func newJoinNode(net *Network, parent betaSource, amem *alphaMem, tests []joinTest, out pairSink) *joinNode {
+	j := &joinNode{net: net, parent: parent, amem: amem, tests: tests, out: out}
+	if net.indexing {
+		j.eq = eqSubset(tests)
+	}
+	if len(j.eq) > 0 {
+		j.left = make(map[string][]*token)
+		j.right = seedRightIndex(j.eq, amem)
+	}
+	return j
 }
 
 func (j *joinNode) onToken(t *token) {
-	for w := range j.amem.items {
+	if len(j.eq) == 0 {
+		j.net.metScan(len(j.amem.items))
+		for w := range j.amem.items {
+			if runTests(j.tests, t, w) {
+				j.out.receive(t, w)
+			}
+		}
+		return
+	}
+	key, ok := tokenIndexKey(j.eq, t, j.kbuf[:0])
+	j.kbuf = key
+	if !ok {
+		// A tested attribute is missing up the chain: no WME can ever
+		// join with this token, so it is not indexed at all.
+		return
+	}
+	j.left[string(key)] = append(j.left[string(key)], t)
+	bucket := j.right[string(key)]
+	j.net.metProbe(len(bucket))
+	for _, w := range bucket {
 		if runTests(j.tests, t, w) {
 			j.out.receive(t, w)
 		}
 	}
 }
 
+func (j *joinNode) onTokenGone(t *token) {
+	if len(j.eq) == 0 {
+		return
+	}
+	key, ok := tokenIndexKey(j.eq, t, j.kbuf[:0])
+	j.kbuf = key
+	if ok {
+		tokenBucketRemove(j.left, key, t)
+	}
+}
+
 func (j *joinNode) rightActivate(w *wm.WME) {
-	for _, t := range j.parent.validTokens() {
+	if len(j.eq) == 0 {
+		vts := j.parent.validTokens()
+		j.net.metScan(len(vts))
+		for _, t := range vts {
+			if runTests(j.tests, t, w) {
+				j.out.receive(t, w)
+			}
+		}
+		return
+	}
+	key, ok := wmeIndexKey(j.eq, w, j.kbuf[:0])
+	j.kbuf = key
+	if !ok {
+		return
+	}
+	j.right[string(key)] = append(j.right[string(key)], w)
+	bucket := j.left[string(key)]
+	j.net.metProbe(len(bucket))
+	for _, t := range bucket {
 		if runTests(j.tests, t, w) {
 			j.out.receive(t, w)
 		}
+	}
+}
+
+func (j *joinNode) rightRetract(w *wm.WME) {
+	if len(j.eq) == 0 {
+		return
+	}
+	key, ok := wmeIndexKey(j.eq, w, j.kbuf[:0])
+	j.kbuf = key
+	if ok {
+		wmeBucketRemove(j.right, key, w)
 	}
 }
 
 // negNode implements a negated condition element. It owns one token
 // per upstream token; a token is valid (propagates downstream) while
-// its join-result set is empty.
+// its join-result set is empty. Like joinNode it keeps hash indexes
+// over both sides when its tests include an equality test; the token
+// side indexes every owned token (not just the valid ones), because a
+// blocked token still collects further join results.
 type negNode struct {
 	net      *Network
 	amem     *alphaMem
 	tests    []joinTest
 	items    []*token
 	children []tokenSink
+
+	eq    []joinTest
+	left  map[string][]*token  // owned tokens by parent-chain key
+	right map[string][]*wm.WME // alpha WMEs by WME-side key
+	kbuf  []byte               // reusable key scratch; activations are single-threaded per network
+}
+
+// newNegNode builds a negative node over the already-populated alpha
+// memory, seeding the WME-side index when indexable.
+func newNegNode(net *Network, amem *alphaMem, tests []joinTest) *negNode {
+	n := &negNode{net: net, amem: amem, tests: tests}
+	if net.indexing {
+		n.eq = eqSubset(tests)
+	}
+	if len(n.eq) > 0 {
+		n.left = make(map[string][]*token)
+		n.right = seedRightIndex(n.eq, amem)
+	}
+	return n
 }
 
 func (n *negNode) validTokens() []*token {
@@ -191,12 +308,32 @@ func (n *negNode) onToken(parent *token) {
 	t := &token{parent: parent, node: n, joinResults: make(map[*wm.WME]bool)}
 	parent.addChild(t)
 	n.items = append(n.items, t)
-	for w := range n.amem.items {
+	if len(n.eq) > 0 {
 		// Negative-node tests reference the parent chain: levelsUp in
 		// compiled tests is relative to the upstream token.
-		if runTests(n.tests, parent, w) {
-			t.joinResults[w] = true
-			n.net.registerJoinResult(t, w)
+		key, ok := tokenIndexKey(n.eq, parent, n.kbuf[:0])
+		n.kbuf = key
+		if ok {
+			n.left[string(key)] = append(n.left[string(key)], t)
+			bucket := n.right[string(key)]
+			n.net.metProbe(len(bucket))
+			for _, w := range bucket {
+				if runTests(n.tests, parent, w) {
+					t.joinResults[w] = true
+					n.net.registerJoinResult(t, w)
+				}
+			}
+		}
+		// !ok: a tested attribute is missing, so no WME can ever match
+		// the negated CE under this token — it stays valid forever and
+		// needs no index entry.
+	} else {
+		n.net.metScan(len(n.amem.items))
+		for w := range n.amem.items {
+			if runTests(n.tests, parent, w) {
+				t.joinResults[w] = true
+				n.net.registerJoinResult(t, w)
+			}
 		}
 	}
 	if len(t.joinResults) == 0 {
@@ -207,7 +344,21 @@ func (n *negNode) onToken(parent *token) {
 }
 
 func (n *negNode) rightActivate(w *wm.WME) {
-	for _, t := range n.items {
+	var candidates []*token
+	if len(n.eq) > 0 {
+		key, ok := wmeIndexKey(n.eq, w, n.kbuf[:0])
+		n.kbuf = key
+		if !ok {
+			return
+		}
+		n.right[string(key)] = append(n.right[string(key)], w)
+		candidates = n.left[string(key)]
+		n.net.metProbe(len(candidates))
+	} else {
+		candidates = n.items
+		n.net.metScan(len(candidates))
+	}
+	for _, t := range candidates {
 		if !runTests(n.tests, t.parent, w) {
 			continue
 		}
@@ -216,17 +367,49 @@ func (n *negNode) rightActivate(w *wm.WME) {
 		n.net.registerJoinResult(t, w)
 		if wasEmpty {
 			// The token just became invalid: retract everything that
-			// was derived from it.
+			// was derived from it and unhook it from indexed children.
 			n.net.deleteDescendants(t)
+			for _, c := range n.children {
+				c.onTokenGone(t)
+			}
 		}
 	}
 }
+
+func (n *negNode) rightRetract(w *wm.WME) {
+	if len(n.eq) == 0 {
+		return
+	}
+	key, ok := wmeIndexKey(n.eq, w, n.kbuf[:0])
+	n.kbuf = key
+	if ok {
+		wmeBucketRemove(n.right, key, w)
+	}
+}
+
+// onTokenGone is the upstream-retraction notification. The negNode's
+// own token for the gone upstream token is deleted through the token
+// tree (its removeToken maintains the index), so nothing remains here.
+func (n *negNode) onTokenGone(t *token) {}
 
 func (n *negNode) removeToken(t *token) {
 	for i, x := range n.items {
 		if x == t {
 			n.items = append(n.items[:i], n.items[i+1:]...)
-			return
+			break
+		}
+	}
+	if len(n.eq) > 0 && t.parent != nil {
+		key, ok := tokenIndexKey(n.eq, t.parent, n.kbuf[:0])
+		n.kbuf = key
+		if ok {
+			tokenBucketRemove(n.left, key, t)
+		}
+	}
+	if len(t.joinResults) == 0 {
+		// The token was valid, so indexed children hold it.
+		for _, c := range n.children {
+			c.onTokenGone(t)
 		}
 	}
 }
@@ -256,6 +439,10 @@ func (p *prodNode) onToken(parent *token) {
 	parent.addChild(t)
 	p.activateToken(t, true)
 }
+
+// onTokenGone is a no-op: the production node keeps no index of
+// upstream tokens; its own tokens die through the token tree.
+func (p *prodNode) onTokenGone(parent *token) {}
 
 func (p *prodNode) activateToken(t *token, bookkeepingLevel bool) {
 	// Collect the chain of CE-level tokens, oldest first.
@@ -297,10 +484,27 @@ type Network struct {
 	wmes         map[*wm.WME]bool
 	tokensByWME  map[*wm.WME][]*token
 	jrOwners     map[*wm.WME][]*token // tokens whose joinResults include the WME
+
+	// indexing selects hashed memories for joins with equality tests;
+	// it must be set before AddRule (join nodes capture it at compile).
+	indexing bool
+	met      *netMetrics
 }
 
-// New returns an empty network.
+// New returns an empty network with hashed memories enabled.
 func New() *Network {
+	n := newNetwork()
+	n.indexing = true
+	return n
+}
+
+// NewLinear returns an empty network using the unindexed basic
+// algorithm — every activation scans the opposite memory. It exists as
+// the before-side of the indexing experiments and as an oracle cross-
+// check; production configurations should use New.
+func NewLinear() *Network { return newNetwork() }
+
+func newNetwork() *Network {
 	n := &Network{
 		alphaByClass: make(map[string][]*alphaMem),
 		alphaByKey:   make(map[string]*alphaMem),
@@ -357,7 +561,12 @@ func (n *Network) Remove(w *wm.WME) {
 	}
 	delete(n.wmes, w)
 	for _, am := range n.alphaByClass[w.Class] {
-		delete(am.items, w)
+		if am.items[w] {
+			delete(am.items, w)
+			for _, s := range am.successors {
+				s.rightRetract(w)
+			}
+		}
 	}
 	// Delete the token trees rooted at tokens that matched w.
 	for _, t := range append([]*token(nil), n.tokensByWME[w]...) {

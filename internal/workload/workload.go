@@ -218,6 +218,41 @@ func Pipeline(parts, stages int) engine.Program {
 	return p
 }
 
+// JoinHeavy builds a match-bound workload: each task tuple must join
+// `depth` reference classes on its key before it can be marked done,
+// and every reference class holds one tuple per key. An unindexed
+// join scans a whole reference class per activation (O(keys) per
+// token), while a hashed join probes a single-entry bucket, so the
+// workload isolates the cost the Doorenbos memory indexes remove.
+// Firings: keys; no inter-task conflicts.
+func JoinHeavy(keys, depth int) engine.Program {
+	conds := []match.Condition{{Class: "task", Tests: []match.AttrTest{
+		{Attr: "k", Op: match.OpEq, Var: "x"},
+		{Attr: "done", Op: match.OpEq, Const: wm.Bool(false)},
+	}}}
+	for l := 0; l < depth; l++ {
+		conds = append(conds, match.Condition{
+			Class: fmt.Sprintf("ref%d", l),
+			Tests: []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}},
+		})
+	}
+	finish := &match.Rule{
+		Name:       "finish",
+		Conditions: conds,
+		Actions: []match.Action{{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+			{Attr: "done", Expr: match.ConstExpr{Val: wm.Bool(true)}},
+		}}},
+	}
+	p := engine.Program{Rules: []*match.Rule{finish}}
+	for i := 0; i < keys; i++ {
+		p.WMEs = append(p.WMEs, engine.InitialWME{Class: "task", Attrs: attrs("k", i, "done", false)})
+		for l := 0; l < depth; l++ {
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: fmt.Sprintf("ref%d", l), Attrs: attrs("k", i)})
+		}
+	}
+	return p
+}
+
 // SharedCounter builds the high-conflict variant of Pipeline: every
 // stage advance also increments one shared tally tuple, so all firings
 // write-conflict on it. Firings: parts×stages; final tally equals that

@@ -416,6 +416,21 @@ var RuleRWSet = match.RuleRWSet
 // rendering are exposed for analysis tooling).
 type ReteNetwork = rete.Network
 
+// Matcher is the incremental match interface every engine drives.
+type Matcher = match.Matcher
+
+// Matcher construction (for match-phase experiments; engines normally
+// select a matcher by name via Options.Matcher).
+var (
+	// NewReteNetwork returns an empty hashed-memory Rete network.
+	NewReteNetwork = rete.New
+	// NewLinearReteNetwork returns the unindexed baseline Rete network
+	// (the before-side of the E17 indexing experiment).
+	NewLinearReteNetwork = rete.NewLinear
+	// NewStore returns an empty working-memory store.
+	NewStore = wm.NewStore
+)
+
 // CompileRete compiles the program's rules into a Rete network and
 // seeds it with the initial working memory.
 func CompileRete(p Program) (*ReteNetwork, error) {
@@ -466,6 +481,8 @@ var (
 	Pipeline = workload.Pipeline
 	// SharedCounter generates the high-conflict tally workload.
 	SharedCounter = workload.SharedCounter
+	// JoinHeavy generates the match-bound deep-join workload.
+	JoinHeavy = workload.JoinHeavy
 	// Guarded generates a workload with negated conditions.
 	Guarded = workload.Guarded
 	// RandomProgram generates random terminating concrete programs.
