@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet metrics-check bench bench-smoke
+.PHONY: all build test race vet metrics-check bench bench-smoke bench-compare
 
 all: build vet test
 
@@ -33,6 +33,28 @@ bench:
 
 # bench-smoke is the CI guard: one iteration of every benchmark, so a
 # bench that breaks (bad firing count, matcher divergence, panic)
-# fails the build even though no timing is collected.
+# fails the build even though no timing is collected. The E18 sweep
+# rides along: the hybrid consistency layer's experiment must keep
+# producing consistent traces under elision, escalation and batching.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/psbench -experiment e18
+
+# bench-compare measures the E18-tracked benchmarks on the working tree
+# against BASE (default: merge-base with main) and prints a
+# benchstat-style table via cmd/psbenchdiff. Artifacts land in
+# bench-artifacts/. COUNT repeats each benchmark so psbenchdiff can
+# take per-row medians.
+BASE  ?= $(shell git merge-base HEAD main 2>/dev/null || echo HEAD~1)
+COUNT ?= 5
+bench-compare:
+	mkdir -p bench-artifacts
+	$(GO) test ./internal/engine/ -run NONE -bench "BenchmarkHybridElision|BenchmarkParallelLowConflict" \
+		-benchtime 20x -count $(COUNT) | tee bench-artifacts/new.txt
+	git worktree add -f bench-artifacts/base $(BASE)
+	-cd bench-artifacts/base && $(GO) test ./internal/engine/ -run NONE \
+		-bench "BenchmarkHybridElision|BenchmarkParallelLowConflict" -benchtime 20x -count $(COUNT) \
+		| tee ../old.txt
+	git worktree remove --force bench-artifacts/base
+	$(GO) run ./cmd/psbenchdiff bench-artifacts/old.txt bench-artifacts/new.txt \
+		| tee bench-artifacts/diff.txt

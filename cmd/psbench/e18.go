@@ -1,0 +1,228 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"pdps"
+)
+
+// hybridRun executes prog under the Rc/Ra/Wa dynamic engine with the
+// given options, checks the trace, and returns the wall-clock median of
+// trials runs together with the engine of the median run (for metric
+// snapshots). Medians rather than means keep one GC pause or scheduler
+// hiccup from polluting an EXPERIMENTS.md row.
+func hybridRun(mk func() pdps.Program, opts pdps.Options, trials int) (time.Duration, pdps.Result, pdps.Engine) {
+	type trial struct {
+		elapsed time.Duration
+		res     pdps.Result
+		eng     pdps.Engine
+	}
+	var ts []trial
+	for i := 0; i < trials; i++ {
+		prog := mk()
+		eng, err := pdps.NewParallelEngine(prog, pdps.SchemeRcRaWa, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := eng.Run()
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+			log.Fatalf("INCONSISTENT: %v", err)
+		}
+		ts = append(ts, trial{elapsed, res, eng})
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].elapsed < ts[j].elapsed })
+	m := ts[len(ts)/2]
+	return m.elapsed, m.res, m.eng
+}
+
+// fanInProgram builds sweep rules that each join fan tuples of the
+// shared class "item" (ids p*fan..p*fan+fan-1) and retire the first —
+// every firing wants fan tuple-level locks in one class, the shape that
+// trips the LockEscalation threshold.
+func fanInProgram(parts, fan int) pdps.Program {
+	var prog pdps.Program
+	for p := 0; p < parts; p++ {
+		r := &pdps.Rule{Name: fmt.Sprintf("sweep%d", p)}
+		for j := 0; j < fan; j++ {
+			r.Conditions = append(r.Conditions, pdps.Condition{
+				Class: "item", Tests: []pdps.AttrTest{
+					{Attr: "id", Op: pdps.OpEq, Const: pdps.Int(int64(p*fan + j))},
+					{Attr: "live", Op: pdps.OpEq, Const: pdps.Bool(true)},
+				},
+			})
+		}
+		r.Actions = []pdps.Action{{Kind: pdps.ActModify, CE: 0, Assigns: []pdps.AttrAssign{
+			{Attr: "live", Expr: pdps.ConstExpr{Val: pdps.Bool(false)}}}}}
+		prog.Rules = append(prog.Rules, r)
+		for j := 0; j < fan; j++ {
+			prog.WMEs = append(prog.WMEs, pdps.InitialWME{Class: "item",
+				Attrs: map[string]pdps.Value{"id": pdps.Int(int64(p*fan + j)), "live": pdps.Bool(true)}})
+		}
+	}
+	return prog
+}
+
+// wideIndependent is Independent with a wider read set: each rule owns
+// a private class of `fan` tuples, joins all of them per firing (one
+// counter tuple plus fan-1 guard reads) and bumps the counter. Rules
+// stay pairwise non-interfering, but the locked path now pays fan Rc
+// acquires plus the Wa round-trip per firing — the share of work that
+// elision removes, at a per-rule read-set width closer to real
+// production systems than Independent's single condition.
+func wideIndependent(rules, fan, steps int) pdps.Program {
+	var prog pdps.Program
+	for r := 0; r < rules; r++ {
+		cls := fmt.Sprintf("cell%d", r)
+		rule := &pdps.Rule{Name: fmt.Sprintf("step%d", r)}
+		rule.Conditions = append(rule.Conditions, pdps.Condition{
+			Class: cls, Tests: []pdps.AttrTest{
+				{Attr: "id", Op: pdps.OpEq, Const: pdps.Int(0)},
+				{Attr: "v", Op: pdps.OpEq, Var: "x"},
+				{Attr: "v", Op: pdps.OpLt, Const: pdps.Int(int64(steps))},
+			},
+		})
+		for j := 1; j < fan; j++ {
+			rule.Conditions = append(rule.Conditions, pdps.Condition{
+				Class: cls, Tests: []pdps.AttrTest{
+					{Attr: "id", Op: pdps.OpEq, Const: pdps.Int(int64(j))},
+				},
+			})
+		}
+		rule.Actions = []pdps.Action{{Kind: pdps.ActModify, CE: 0, Assigns: []pdps.AttrAssign{
+			{Attr: "v", Expr: pdps.BinExpr{Op: pdps.ArithAdd,
+				L: pdps.VarExpr{Name: "x"}, R: pdps.ConstExpr{Val: pdps.Int(1)}}}}}}
+		prog.Rules = append(prog.Rules, rule)
+		for j := 0; j < fan; j++ {
+			prog.WMEs = append(prog.WMEs, pdps.InitialWME{Class: cls,
+				Attrs: map[string]pdps.Value{"id": pdps.Int(int64(j)), "v": pdps.Int(0)}})
+		}
+	}
+	return prog
+}
+
+// e18 measures the hybrid consistency layer end to end (DESIGN.md §11):
+// (i) the interference-driven lock-elision win on a pairwise
+// non-interfering workload, (ii) the cost bound on a fully-conflicting
+// workload where every firing falls back to locks, (iii) the class-lock
+// escalation trade on a fan-in workload, and (iv) the group-commit
+// batch sweep. Counters quoted per row come from the metrics registry
+// of the median run.
+func e18() {
+	const trials = 5
+
+	// (i) Elision-hot: every rule owns a private class, so the static
+	// interference matrix admits the lock-free path for every firing.
+	const rules, fan1, steps, np = 16, 6, 48, 8
+	mkLow := func() pdps.Program { return wideIndependent(rules, fan1, steps) }
+	fmt.Printf("  (i) low-conflict wideIndependent(%d,%d,%d), np=%d, median of %d:\n", rules, fan1, steps, np, trials)
+	fmt.Printf("  %-22s %12s %12s %9s %9s %9s %9s\n",
+		"config", "elapsed", "firings/s", "elides", "fallback", "acquires", "speedup")
+	offT, offRes, offEng := hybridRun(mkLow, pdps.Options{Np: np}, trials)
+	onT, onRes, onEng := hybridRun(mkLow,
+		pdps.Options{Np: np, HybridElision: true}, trials)
+	row := func(name string, d time.Duration, res pdps.Result, eng pdps.Engine, base time.Duration) {
+		snap := eng.Metrics().Snapshot()
+		fmt.Printf("  %-22s %12v %12.0f %9d %9d %9d %8.2fx\n",
+			name, d.Round(time.Microsecond),
+			float64(res.Firings)/d.Seconds(),
+			snap.Counter("engine_elide_total"),
+			snap.Counter("engine_elide_fallback_total"),
+			lockAcquires(snap),
+			float64(base)/float64(d))
+		dumpMetrics("e18", name, eng)
+	}
+	row("locked", offT, offRes, offEng, offT)
+	row("hybrid", onT, onRes, onEng, offT)
+
+	// (ii) Fully conflicting: every stage rule of the pipeline
+	// self-interferes (it reads and writes part.stage), and the per-rule
+	// action delay keeps many parts of the same stage in flight at once,
+	// so registrants see each other in the census and fall back to
+	// locks. The hybrid run's extra work over the locked baseline is
+	// just the census register/check; the acceptance bound is ±5%.
+	const parts2, stages2 = 24, 4
+	hotDelay := 200 * time.Microsecond
+	mkHot := func() pdps.Program { return pdps.Pipeline(parts2, stages2) }
+	hotDelays := func(prog pdps.Program) map[string]time.Duration {
+		d := make(map[string]time.Duration, len(prog.Rules))
+		for _, r := range prog.Rules {
+			d[r.Name] = hotDelay
+		}
+		return d
+	}
+	fmt.Printf("  (ii) self-interfering Pipeline(%d,%d), action cost %v, np=%d, median of %d:\n",
+		parts2, stages2, hotDelay, np, trials)
+	cOffT, cOffRes, _ := hybridRun(mkHot,
+		pdps.Options{Np: np, RuleDelay: hotDelays(mkHot())}, trials)
+	cOnT, cOnRes, cOnEng := hybridRun(mkHot,
+		pdps.Options{Np: np, HybridElision: true, RuleDelay: hotDelays(mkHot())}, trials)
+	snap := cOnEng.Metrics().Snapshot()
+	delta := 100 * (float64(cOnT) - float64(cOffT)) / float64(cOffT)
+	fmt.Printf("  %-22s %12v  commits=%d\n", "locked", cOffT.Round(time.Microsecond), cOffRes.Firings)
+	fmt.Printf("  %-22s %12v  commits=%d elides=%d fallbacks=%d delta=%+.1f%%\n",
+		"hybrid", cOnT.Round(time.Microsecond), cOnRes.Firings,
+		snap.Counter("engine_elide_total"), snap.Counter("engine_elide_fallback_total"), delta)
+
+	// (iii) Escalation: each sweep rule wants `fan` tuple locks in the
+	// shared item class. Above the threshold the lock manager grants one
+	// class-granularity lock instead — fewer lock-table operations, but
+	// class-level Wa serializes rules that tuple locks would have run in
+	// parallel: the Section 4.1 granularity trade, measured.
+	const parts, fan = 8, 12
+	mkFan := func() pdps.Program { return fanInProgram(parts, fan) }
+	fmt.Printf("  (iii) fan-in escalation (parts=%d fan=%d, np=%d):\n", parts, fan, np)
+	fmt.Printf("  %-22s %12s %9s %9s %9s %9s\n", "config", "elapsed", "commits", "acquires", "escal", "saved")
+	for _, esc := range []int{0, 4} {
+		name := "tuple-locks"
+		if esc > 0 {
+			name = fmt.Sprintf("escalate>%d", esc)
+		}
+		d, res, eng := hybridRun(mkFan, pdps.Options{Np: np, LockEscalation: esc}, trials)
+		s := eng.Metrics().Snapshot()
+		fmt.Printf("  %-22s %12v %9d %9d %9d %9d\n",
+			name, d.Round(time.Microsecond), res.Firings, lockAcquires(s),
+			s.Counter("lock_escalation_total"), s.Counter("lock_escalation_saved_locks_total"))
+		dumpMetrics("e18", name, eng)
+	}
+
+	// (iv) Group commit: one conflict-set refresh per batch instead of
+	// per firing. The naive matcher rebuilds its conflict set on every
+	// refresh — the O(|CS|) cost group commit exists to amortize; the
+	// incremental matchers drain a per-commit journal, so for them the
+	// batch size is a wash (the rete row pins that).
+	fmt.Printf("  (iv) commit-batch sweep on Independent(%d,%d) with elision on:\n", rules, steps)
+	mkBatch := func() pdps.Program { return pdps.Independent(rules, steps) }
+	fmt.Printf("  %-22s %12s %12s %14s\n", "matcher/batch", "elapsed", "firings/s", "mean batch")
+	for _, c := range []struct {
+		matcher string
+		batch   int
+	}{{"naive", 1}, {"naive", 4}, {"naive", 16}, {"rete", 1}, {"rete", 16}} {
+		d, res, eng := hybridRun(mkBatch,
+			pdps.Options{Np: np, Matcher: c.matcher, HybridElision: true, CommitBatch: c.batch}, trials)
+		mean := "-"
+		if h, ok := eng.Metrics().Snapshot().Histogram("commit_batch_size"); ok && h.Count > 0 {
+			mean = fmt.Sprintf("%.2f", float64(h.Sum)/float64(h.Count))
+		}
+		fmt.Printf("  %-15s/%-6d %12v %12.0f %14s\n",
+			c.matcher, c.batch, d.Round(time.Microsecond), float64(res.Firings)/d.Seconds(), mean)
+	}
+}
+
+// lockAcquires sums lock_acquires_total across its mode labels.
+func lockAcquires(snap pdps.MetricsSnapshot) int64 {
+	var n int64
+	for _, c := range snap.Counters {
+		if c.Name == "lock_acquires_total" {
+			n += c.Value
+		}
+	}
+	return n
+}

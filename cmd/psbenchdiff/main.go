@@ -1,0 +1,182 @@
+// Command psbenchdiff compares two `go test -bench` output files and
+// prints a benchstat-style table: one row per benchmark, with the old
+// and new ns/op, the delta, and any secondary metrics (firings/s,
+// B/op, allocs/op) the benchmarks report. It exists so CI can attach a
+// before/after comparison of the E18-tracked benchmarks to every build
+// without pulling in external tooling.
+//
+// Usage: psbenchdiff old.txt new.txt
+//
+// Benchmarks appearing several times in one file (e.g. -count=5) are
+// aggregated by median, which tolerates one noisy run per side. Rows
+// present on only one side are listed separately. With -geomean the
+// table ends with the geometric mean of the per-row ns/op ratios —
+// the single number to watch across commits. The exit status is 0
+// unless -fail-over N is given and the geomean regression exceeds N
+// percent.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// bench is one parsed benchmark result: ns/op plus secondary metrics.
+type bench struct {
+	nsop    []float64
+	metrics map[string][]float64
+}
+
+// parseFile reads every "Benchmark..." line of a `go test -bench`
+// output file. Lines that don't parse (PASS, ok, log output) are
+// skipped.
+func parseFile(path string) (map[string]*bench, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*bench)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Shape: Name-N iterations value unit [value unit]...
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		b := out[name]
+		if b == nil {
+			b = &bench{metrics: make(map[string][]float64)}
+			out[name] = b
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			if fields[i+1] == "ns/op" {
+				b.nsop = append(b.nsop, v)
+			} else {
+				b.metrics[fields[i+1]] = append(b.metrics[fields[i+1]], v)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// median aggregates repeated runs of one benchmark.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// fmtNs renders a ns/op figure with benchstat-like scaling.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	geo := flag.Bool("geomean", true, "print the geometric mean of per-row ns/op ratios")
+	failOver := flag.Float64("fail-over", 0, "exit 1 if the geomean regression exceeds this percentage (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: psbenchdiff old.txt new.txt")
+		os.Exit(2)
+	}
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbenchdiff:", err)
+		os.Exit(2)
+	}
+	new_, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbenchdiff:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for n := range old {
+		if _, ok := new_[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	w := len("name")
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	fmt.Printf("%-*s  %12s  %12s  %8s\n", w, "name", "old", "new", "delta")
+	logSum, rows := 0.0, 0
+	for _, n := range names {
+		o, nw := median(old[n].nsop), median(new_[n].nsop)
+		if math.IsNaN(o) || math.IsNaN(nw) || o == 0 {
+			continue
+		}
+		delta := 100 * (nw - o) / o
+		fmt.Printf("%-*s  %12s  %12s  %+7.1f%%\n", w, n, fmtNs(o), fmtNs(nw), delta)
+		logSum += math.Log(nw / o)
+		rows++
+	}
+	ratio := 1.0
+	if rows > 0 {
+		ratio = math.Exp(logSum / float64(rows))
+	}
+	if *geo && rows > 0 {
+		fmt.Printf("%-*s  %12s  %12s  %+7.1f%%\n", w, "geomean", "", "", 100*(ratio-1))
+	}
+
+	report := func(label string, only map[string]*bench, other map[string]*bench) {
+		var miss []string
+		for n := range only {
+			if _, ok := other[n]; !ok {
+				miss = append(miss, n)
+			}
+		}
+		sort.Strings(miss)
+		for _, n := range miss {
+			fmt.Printf("%-*s  [%s only]\n", w, n, label)
+		}
+	}
+	report("old", old, new_)
+	report("new", new_, old)
+
+	if *failOver > 0 && 100*(ratio-1) > *failOver {
+		fmt.Fprintf(os.Stderr, "psbenchdiff: geomean regression %.1f%% exceeds %.1f%%\n",
+			100*(ratio-1), *failOver)
+		os.Exit(1)
+	}
+}

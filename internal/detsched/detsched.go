@@ -57,6 +57,15 @@ type Config struct {
 	// MaxDecisions bounds scheduling decisions per run (a runaway
 	// backstop); 0 means 1<<16.
 	MaxDecisions int
+	// Elide enables the hybrid lock-elision path
+	// (engine.Options.HybridElision).
+	Elide bool
+	// Escalation is the class-lock escalation threshold
+	// (engine.Options.LockEscalation); 0 disables.
+	Escalation int
+	// CommitBatch is the committer's group-commit size
+	// (engine.Options.CommitBatch); 0 means 1.
+	CommitBatch int
 }
 
 func (c Config) np() int {
@@ -82,8 +91,18 @@ func (c Config) String() string {
 	if c.MatchShards > 1 {
 		m = fmt.Sprintf("%s×%d", m, c.MatchShards)
 	}
-	return fmt.Sprintf("scheme=%s np=%d matcher=%s deadlock=%s abort=%s",
+	s := fmt.Sprintf("scheme=%s np=%d matcher=%s deadlock=%s abort=%s",
 		c.Scheme, c.np(), m, c.Deadlock, c.Abort)
+	if c.Elide {
+		s += " elide=on"
+	}
+	if c.Escalation > 0 {
+		s += fmt.Sprintf(" escalation=%d", c.Escalation)
+	}
+	if c.CommitBatch > 1 {
+		s += fmt.Sprintf(" batch=%d", c.CommitBatch)
+	}
+	return s
 }
 
 // RunOutcome is one deterministic run's result.
@@ -130,6 +149,9 @@ func Run(p engine.Program, cfg Config, policy sched.Policy) RunOutcome {
 		CondDelay:   cfg.CondDelay,
 		RuleDelay:   cfg.RuleDelay,
 		Sched:       ctl,
+		HybridElision:  cfg.Elide,
+		LockEscalation: cfg.Escalation,
+		CommitBatch:    cfg.CommitBatch,
 	}
 	eng, err := engine.NewParallel(p, cfg.Scheme, opts)
 	if err != nil {

@@ -1,0 +1,174 @@
+package detsched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pdps/internal/engine"
+	"pdps/internal/lock"
+	"pdps/internal/match"
+	"pdps/internal/sched"
+	"pdps/internal/wm"
+	"pdps/internal/workload"
+)
+
+// TestHybridExhaustiveConsistency is the ES_M ⊆ ES_single proof for
+// the hybrid consistency layer: for the Figure 4.4 deadlock pair and
+// the contended-counter program, every schedule the engine can produce
+// with lock elision and class-lock escalation toggled on and off must
+// yield a commit trace admitted by the single-thread execution graph.
+// Elided firings skip the lock manager entirely, so this walk is what
+// certifies that the committer's conflict-set validation alone upholds
+// Definition 3.2 on the lock-free path.
+func TestHybridExhaustiveConsistency(t *testing.T) {
+	cases := []struct {
+		name    string
+		prog    engine.Program
+		firings int
+	}{
+		{"fig44", fig44Program(), 1},
+		{"counter", counterProgram(), 2},
+	}
+	knobs := []struct {
+		name       string
+		elide      bool
+		escalation int
+	}{
+		{"elide", true, 0},
+		{"escalate", false, 1},
+		{"elide+escalate", true, 1},
+	}
+	const cap = 8000
+	for _, tc := range cases {
+		for _, scheme := range []lock.Scheme{lock.Scheme2PL, lock.SchemeRcRaWa} {
+			for _, k := range knobs {
+				t.Run(fmt.Sprintf("%s/%s/%s", tc.name, scheme, k.name), func(t *testing.T) {
+					cfg := Config{Scheme: scheme, Np: 2, Elide: k.elide, Escalation: k.escalation}
+					rep, err := Explore(tc.prog, cfg, cap)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Truncated {
+						t.Fatalf("state space over %d schedules; shrink the program", cap)
+					}
+					if rep.Schedules < 2 {
+						t.Fatalf("only %d schedule explored; branching not reached", rep.Schedules)
+					}
+					for seq := range rep.Serializations {
+						if got := strings.Count(seq, "["); got != tc.firings && seq != "" {
+							t.Fatalf("serialization %q has %d commits, want %d", seq, got, tc.firings)
+						}
+					}
+					t.Logf("%d schedules, %d serializations", rep.Schedules, len(rep.Serializations))
+				})
+			}
+		}
+	}
+}
+
+// independentPair is a two-rule pairwise non-interfering program (each
+// rule flips its own private tuple once) — under elision both firings
+// take the lock-free path in every schedule.
+func independentPair() engine.Program {
+	mk := func(name, cls string) *match.Rule {
+		return &match.Rule{
+			Name: name,
+			Conditions: []match.Condition{
+				{Class: cls, Tests: []match.AttrTest{{Attr: "hot", Op: match.OpEq, Const: wm.Bool(true)}}},
+			},
+			Actions: []match.Action{{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+				{Attr: "hot", Expr: match.ConstExpr{Val: wm.Bool(false)}}}}},
+		}
+	}
+	return engine.Program{
+		Rules: []*match.Rule{mk("fa", "a"), mk("fb", "b")},
+		WMEs: []engine.InitialWME{
+			{Class: "a", Attrs: attrs("hot", true)},
+			{Class: "b", Attrs: attrs("hot", true)},
+		},
+	}
+}
+
+// TestHybridElisionExhaustive explores the non-interfering pair with
+// elision on: every interleaving must commit both rules, and every
+// schedule's metric snapshot must show zero lock grants — the elided
+// path never touches the lock manager, under any schedule.
+func TestHybridElisionExhaustive(t *testing.T) {
+	prog := independentPair()
+	cfg := Config{Scheme: lock.SchemeRcRaWa, Np: 2, Elide: true}
+	var prefix []int
+	schedules := 0
+	for {
+		out := Run(prog, cfg, sched.NewReplay(prefix))
+		schedules++
+		if err := Check(prog, out); err != nil {
+			t.Fatalf("schedule %v: %v", prefix, err)
+		}
+		if out.Result.Firings != 2 {
+			t.Fatalf("schedule %v: firings = %d, want 2", prefix, out.Result.Firings)
+		}
+		for _, c := range out.Metrics.Counters {
+			if strings.HasPrefix(c.Name, "lock_acquires") && c.Value != 0 {
+				t.Fatalf("schedule %v: %s = %d, want 0 (all firings elide)", prefix, c.Name, c.Value)
+			}
+		}
+		prefix = nextPrefix(out.Choices)
+		if prefix == nil {
+			break
+		}
+		if schedules > 8000 {
+			t.Fatal("state space blew up")
+		}
+	}
+	t.Logf("%d schedules, all lock-free", schedules)
+}
+
+// TestHybridGroupCommitExhaustive explores the contended counter with
+// group commit: deferring the conflict-set refresh must not admit any
+// serialization outside ES_single, nor change the commit count.
+func TestHybridGroupCommitExhaustive(t *testing.T) {
+	prog := counterProgram()
+	for _, batch := range []int{2, 4} {
+		cfg := Config{Scheme: lock.SchemeRcRaWa, Np: 2, CommitBatch: batch}
+		rep, err := Explore(prog, cfg, 8000)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if rep.Truncated {
+			t.Fatalf("batch %d: truncated", batch)
+		}
+		for seq := range rep.Serializations {
+			if got := strings.Count(seq, "["); got != 2 && seq != "" {
+				t.Fatalf("batch %d: serialization %q has %d commits, want 2", batch, seq, got)
+			}
+		}
+	}
+}
+
+// TestHybridSeededReproducible pins determinism with every hybrid knob
+// on: same seed, same trace, byte for byte — including the negative
+// elided transaction ids.
+func TestHybridSeededReproducible(t *testing.T) {
+	prog := workload.Independent(3, 2)
+	cfg := Config{Scheme: lock.SchemeRcRaWa, Np: 3, Elide: true, Escalation: 1, CommitBatch: 2}
+	for seed := int64(0); seed < 5; seed++ {
+		a := Run(prog, cfg, sched.NewRandom(seed))
+		b := Run(prog, cfg, sched.NewRandom(seed))
+		if err := Check(prog, a); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.Result.Firings != 6 {
+			t.Fatalf("seed %d: firings = %d, want 6", seed, a.Result.Firings)
+		}
+		ra, rb := renderEvents(a.Result.Log), renderEvents(b.Result.Log)
+		if len(ra) != len(rb) {
+			t.Fatalf("seed %d: trace lengths differ: %d vs %d", seed, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("seed %d: traces differ at %d:\n%s\nvs\n%s", seed, i, ra[i], rb[i])
+			}
+		}
+	}
+}

@@ -88,6 +88,24 @@ type Options struct {
 	// LockShards sets the dynamic engine's lock-table shard count;
 	// values below 1 mean lock.DefaultShards.
 	LockShards int
+	// HybridElision enables the hybrid static/dynamic consistency layer
+	// in the Parallel engine: a firing whose rule statically interferes
+	// with no rule currently in flight (Section 4.1, Theorem 1) skips
+	// the lock manager and goes straight to the committer, whose
+	// conflict-set validation stays as the backstop.
+	HybridElision bool
+	// LockEscalation, when above 0, escalates a firing's tuple-level
+	// lock plan to a single relation-level lock whenever it would take
+	// more than this many tuple locks in one class — the hierarchical
+	// class-granularity locking of multi-granularity schemes, collapsing
+	// O(tuples) lock-table operations into O(classes). 0 disables.
+	LockEscalation int
+	// CommitBatch, when above 1, lets the Parallel committer apply up to
+	// that many firings before refreshing the conflict set and
+	// re-dispatching — group commit. The refresh always runs once the
+	// event queue drains, so batching changes scheduling granularity,
+	// never the final state. Values below 1 mean 1 (refresh per firing).
+	CommitBatch int
 	// Verify recomputes the rule's matches from scratch against the
 	// shared store at every commit and fails the run if the committing
 	// instantiation is not active — a runtime check of the semantic
@@ -147,6 +165,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.Np == 0 {
 		out.Np = 4
+	}
+	if out.CommitBatch < 1 {
+		out.CommitBatch = 1
 	}
 	if out.Sched != nil {
 		out.Clock = out.Sched

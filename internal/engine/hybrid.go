@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"pdps/internal/match"
+)
+
+// inflightTable is the hybrid consistency layer's per-rule in-flight
+// census: one atomic counter per rule, incremented when a firing of
+// that rule enters execution and decremented when its commit verdict
+// resolves. A firing may elide the lock manager when its rule
+// statically interferes with no rule currently in flight (Section 4.1,
+// Theorem 1: non-interfering productions fire serially-equivalently in
+// any order).
+//
+// Protocol: every firing — elided or locked — registers BEFORE
+// checking elidability. Two concurrent firings of interfering rules
+// therefore each see the other's registration, and both fall back to
+// locking; elision is never granted against a racing registrant. The
+// check is deliberately conservative (a counter may linger until the
+// committer answers a firing's submit), and the committer's
+// conflict-set validation remains the consistency backstop either way
+// — interference-based elision buys abort-freedom, not safety, which
+// the pipeline already had.
+type inflightTable struct {
+	im     *match.InterferenceMatrix
+	counts []atomic.Int64
+}
+
+// newInflightTable builds the census over the interference matrix's
+// rule set.
+func newInflightTable(im *match.InterferenceMatrix) *inflightTable {
+	return &inflightTable{im: im, counts: make([]atomic.Int64, im.Size())}
+}
+
+// register marks one firing of rule idx as in flight.
+func (t *inflightTable) register(idx int) { t.counts[idx].Add(1) }
+
+// release retires one firing of rule idx.
+func (t *inflightTable) release(idx int) { t.counts[idx].Add(-1) }
+
+// canElide reports whether a registered firing of rule idx may skip
+// the lock manager: no interfering rule (including a second instance
+// of idx itself, when the rule self-interferes) is in flight. The
+// caller must have registered idx first.
+func (t *inflightTable) canElide(idx int) bool {
+	row := t.im.Row(idx)
+	for j := range t.counts {
+		if !row[j] {
+			continue
+		}
+		n := t.counts[j].Load()
+		if j == idx {
+			n-- // our own registration
+		}
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}

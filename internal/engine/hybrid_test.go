@@ -1,0 +1,329 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pdps/internal/lock"
+	"pdps/internal/match"
+	"pdps/internal/wm"
+)
+
+// independentProgram mirrors workload.Independent (the engine package
+// cannot import workload): n rules over n private classes, each
+// stepping its own counter tuple `steps` times. Pairwise
+// non-interfering, so under HybridElision every firing elides.
+func independentProgram(n, steps int) Program {
+	var p Program
+	for r := 0; r < n; r++ {
+		cls := fmt.Sprintf("cell%d", r)
+		p.Rules = append(p.Rules, &match.Rule{
+			Name: fmt.Sprintf("step%d", r),
+			Conditions: []match.Condition{
+				{Class: cls, Tests: []match.AttrTest{
+					{Attr: "v", Op: match.OpEq, Var: "x"},
+					{Attr: "v", Op: match.OpLt, Const: wm.Int(int64(steps))},
+				}},
+			},
+			Actions: []match.Action{
+				{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+					{Attr: "v", Expr: match.BinExpr{Op: match.ArithAdd,
+						L: match.VarExpr{Name: "x"}, R: match.ConstExpr{Val: wm.Int(1)}}},
+				}},
+			},
+		})
+		p.WMEs = append(p.WMEs, InitialWME{Class: cls, Attrs: attrs("v", 0)})
+	}
+	return p
+}
+
+// fanInProgram builds one rule joining `fan` tuples of a single class
+// and modifying them all — a lock plan of `fan` tuple locks in one
+// class, the shape LockEscalation collapses.
+func fanInProgram(fan int) Program {
+	var conds []match.Condition
+	var acts []match.Action
+	for i := 0; i < fan; i++ {
+		conds = append(conds, match.Condition{Class: "item", Tests: []match.AttrTest{
+			{Attr: "slot", Op: match.OpEq, Const: wm.Int(int64(i))},
+			{Attr: "done", Op: match.OpEq, Const: wm.Bool(false)},
+		}})
+		acts = append(acts, match.Action{Kind: match.ActModify, CE: i, Assigns: []match.AttrAssign{
+			{Attr: "done", Expr: match.ConstExpr{Val: wm.Bool(true)}}}})
+	}
+	p := Program{Rules: []*match.Rule{{Name: "sweep", Conditions: conds, Actions: acts}}}
+	for i := 0; i < fan; i++ {
+		p.WMEs = append(p.WMEs, InitialWME{Class: "item", Attrs: attrs("slot", i, "done", false)})
+	}
+	return p
+}
+
+// counterValue reads the metric counter by name from the registry.
+func counterValue(e *Parallel, name string) int64 {
+	return e.Metrics().Counter(name).Value()
+}
+
+// TestHybridLowConflictElides runs the pairwise non-interfering
+// workload with elision on: every firing must take the lock-free path
+// (zero lock-manager traffic), commit the exact count, and still pass
+// semantic verification and the trace oracle.
+func TestHybridLowConflictElides(t *testing.T) {
+	const n, steps = 6, 5
+	for _, scheme := range []lock.Scheme{lock.Scheme2PL, lock.SchemeRcRaWa} {
+		prog := independentProgram(n, steps)
+		e, err := NewParallel(prog, scheme, Options{Np: 8, Verify: true, HybridElision: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if res.Firings != n*steps {
+			t.Fatalf("%v: firings = %d, want %d", scheme, res.Firings, n*steps)
+		}
+		if res.Aborts != 0 {
+			t.Fatalf("%v: aborts = %d, want 0", scheme, res.Aborts)
+		}
+		if err := CheckTrace(prog, res.Log.Commits()); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if got := counterValue(e, "engine_elide_fallback_total"); got != 0 {
+			t.Fatalf("%v: fallbacks = %d, want 0 (no rules interfere)", scheme, got)
+		}
+		if got := counterValue(e, "engine_elide_total"); got != int64(res.Firings+res.Aborts+res.Skips) {
+			t.Fatalf("%v: elides = %d, want %d (every firing is non-interfering)",
+				scheme, got, res.Firings+res.Aborts+res.Skips)
+		}
+		if got := e.LockStats().Acquired; got != 0 {
+			t.Fatalf("%v: lock manager saw %d grants; elided firings must not touch it", scheme, got)
+		}
+	}
+}
+
+// TestHybridFullConflictCorrect runs the fully conflicting counter
+// workload with every hybrid knob on, across schemes and matchers: the
+// committer's validation must keep the run consistent regardless of
+// how often the census grants elision, and the final tally must be
+// exact.
+func TestHybridFullConflictCorrect(t *testing.T) {
+	const parts = 7
+	for _, scheme := range []lock.Scheme{lock.Scheme2PL, lock.SchemeRcRaWa} {
+		for _, matcher := range []string{"rete", "treat"} {
+			label := fmt.Sprintf("%v/%s", scheme, matcher)
+			prog := counterProgram(parts)
+			e, err := NewParallel(prog, scheme, Options{
+				Np: 8, Matcher: matcher, Verify: true,
+				HybridElision: true, LockEscalation: 2, CommitBatch: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if res.Firings != parts {
+				t.Fatalf("%s: firings = %d, want %d", label, res.Firings, parts)
+			}
+			if err := CheckTrace(prog, res.Log.Commits()); err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+		}
+	}
+}
+
+// TestHybridSelfInterferenceAccounted checks the census against the
+// one trap Theorem 1 sets: two simultaneous instances of the SAME
+// writing rule interfere with each other (a rule with writes always
+// self-interferes). With 12 parts enabling one remove rule the run
+// must commit every part exactly once, and the census must account
+// for every firing: each fire takes exactly one of the two paths.
+func TestHybridSelfInterferenceAccounted(t *testing.T) {
+	prog := pipelineProgram(12, 1) // 12 parts, one finish rule class-wide
+	e, err := NewParallel(prog, lock.SchemeRcRaWa, Options{Np: 8, Verify: true, HybridElision: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 12 {
+		t.Fatalf("firings = %d, want 12", res.Firings)
+	}
+	if err := CheckTrace(prog, res.Log.Commits()); err != nil {
+		t.Fatal(err)
+	}
+	elides := counterValue(e, "engine_elide_total")
+	fallbacks := counterValue(e, "engine_elide_fallback_total")
+	if elides+fallbacks != int64(res.Firings+res.Skips+res.Aborts) {
+		t.Fatalf("census leak: elides %d + fallbacks %d != outcomes %d",
+			elides, fallbacks, res.Firings+res.Skips+res.Aborts)
+	}
+}
+
+// TestInflightTableRace hammers the register-then-check protocol from
+// many goroutines (run with -race): two interfering rules must never
+// both hold an elision grant at the same instant, because each
+// registers before checking and therefore sees the other.
+func TestInflightTableRace(t *testing.T) {
+	ruleA := &match.Rule{Name: "wa", Conditions: []match.Condition{
+		{Class: "x", Tests: []match.AttrTest{{Attr: "v", Op: match.OpEq, Var: "n"}}}},
+		Actions: []match.Action{{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+			{Attr: "v", Expr: match.ConstExpr{Val: wm.Int(1)}}}}}}
+	ruleB := &match.Rule{Name: "wb", Conditions: []match.Condition{
+		{Class: "x", Tests: []match.AttrTest{{Attr: "v", Op: match.OpEq, Var: "n"}}}},
+		Actions: []match.Action{{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+			{Attr: "v", Expr: match.ConstExpr{Val: wm.Int(2)}}}}}}
+	tbl := newInflightTable(match.NewInterferenceMatrix([]*match.Rule{ruleA, ruleB}))
+
+	var eliding [2]atomic.Int64
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		idx := g % 2
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				tbl.register(idx)
+				if tbl.canElide(idx) {
+					eliding[idx].Add(1)
+					if eliding[1-idx].Load() > 0 {
+						violations.Add(1)
+					}
+					eliding[idx].Add(-1)
+				}
+				tbl.release(idx)
+			}
+		}(idx)
+	}
+	wg.Wait()
+	if v := violations.Load(); v > 0 {
+		t.Fatalf("%d concurrent elisions of interfering rules", v)
+	}
+	for i := range tbl.counts {
+		if n := tbl.counts[i].Load(); n != 0 {
+			t.Fatalf("rule %d census not drained: %d", i, n)
+		}
+	}
+}
+
+// TestLockEscalationPlans unit-tests the plan builders: past the
+// threshold a class's tuple locks collapse to one relation lock at the
+// strongest needed mode, and below it the plan is untouched.
+func TestLockEscalationPlans(t *testing.T) {
+	prog := fanInProgram(4)
+	store := wm.NewStore()
+	var wmes []*wm.WME
+	for _, iw := range prog.WMEs {
+		wmes = append(wmes, store.Insert(iw.Class, iw.Attrs))
+	}
+	in := &match.Instantiation{Rule: prog.Rules[0], WMEs: wmes}
+
+	rc, esc, saved := rcResources(in, 0)
+	if len(rc) != 4 || esc != 0 || saved != 0 {
+		t.Fatalf("unescalated rc plan: %d locks, esc %d, saved %d", len(rc), esc, saved)
+	}
+	rc, esc, saved = rcResources(in, 2)
+	if len(rc) != 1 || rc[0] != lock.Relation("item") {
+		t.Fatalf("escalated rc plan = %v, want one relation lock", rc)
+	}
+	if esc != 1 || saved != 3 {
+		t.Fatalf("rc escalation counts = (%d, %d), want (1, 3)", esc, saved)
+	}
+
+	rhs, esc, saved := rhsLocks(in, 2)
+	if len(rhs) != 1 || rhs[0].res != lock.Relation("item") || rhs[0].mode != lock.Wa {
+		t.Fatalf("escalated rhs plan = %v, want one relation Wa", rhs)
+	}
+	if esc != 1 || saved != 3 {
+		t.Fatalf("rhs escalation counts = (%d, %d), want (1, 3)", esc, saved)
+	}
+	rhs, esc, _ = rhsLocks(in, 8)
+	if len(rhs) != 4 || esc != 0 {
+		t.Fatalf("below-threshold rhs plan: %d locks, esc %d", len(rhs), esc)
+	}
+}
+
+// TestLockEscalationEndToEnd runs the fan-in join with escalation on:
+// the run must stay correct and the escalation metrics must record the
+// collapsed plans.
+func TestLockEscalationEndToEnd(t *testing.T) {
+	prog := fanInProgram(5)
+	e, err := NewParallel(prog, lock.SchemeRcRaWa, Options{Np: 4, Verify: true, LockEscalation: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Firings != 1 {
+		t.Fatalf("firings = %d, want 1", res.Firings)
+	}
+	if err := CheckTrace(prog, res.Log.Commits()); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(e, "lock_escalation_total"); got == 0 {
+		t.Fatal("lock_escalation_total = 0, want > 0")
+	}
+	if got := counterValue(e, "lock_escalation_saved_locks_total"); got < 4 {
+		t.Fatalf("lock_escalation_saved_locks_total = %d, want >= 4", got)
+	}
+}
+
+// TestCommitBatchEquivalence runs the same contended workload at
+// several group-commit sizes: batching may only change scheduling
+// granularity, never the commit count or the final working memory.
+func TestCommitBatchEquivalence(t *testing.T) {
+	var want []string
+	for _, batch := range []int{1, 2, 8} {
+		prog := tallyProgram(4, 3)
+		e, err := NewParallel(prog, lock.SchemeRcRaWa, Options{Np: 4, Verify: true, CommitBatch: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if err := CheckTrace(prog, res.Log.Commits()); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		got := wmFingerprint(res.Store)
+		if want == nil {
+			want = got
+			continue
+		}
+		if !equal(got, want) {
+			t.Fatalf("batch %d: final WM differs\n got: %v\nwant: %v", batch, got, want)
+		}
+	}
+}
+
+// TestDedupeResourcesInPlace pins the allocation-free contract: the
+// output aliases the input's backing array, is sorted, and keeps one
+// copy of each resource.
+func TestDedupeResourcesInPlace(t *testing.T) {
+	rs := []lock.Resource{
+		{Class: "b", ID: 2}, {Class: "a", ID: 1}, {Class: "b", ID: 2},
+		{Class: "a", ID: 1}, {Class: "a", ID: 3}, {Class: "a", ID: 1},
+	}
+	out := dedupeResources(rs)
+	want := []lock.Resource{{Class: "a", ID: 1}, {Class: "a", ID: 3}, {Class: "b", ID: 2}}
+	if len(out) != len(want) {
+		t.Fatalf("dedupe = %v, want %v", out, want)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("dedupe = %v, want %v", out, want)
+		}
+	}
+	if &out[0] != &rs[0] {
+		t.Fatal("dedupeResources must compact in place, not allocate")
+	}
+}

@@ -11,8 +11,12 @@ import (
 // (Figure 4.1/4.2, phase 1): a tuple-level Rc on every matched WME,
 // and a relation-level Rc for every negated condition element — the
 // paper's lock escalation for conditions that depend on the absence of
-// tuples.
-func rcResources(in *match.Instantiation) []lock.Resource {
+// tuples. When escalate is above 0, any class with more than that many
+// tuple-level entries collapses to a single relation-level Rc
+// (hierarchical class-granularity locking); the returned counts report
+// how many classes escalated and how many lock-table operations that
+// avoided.
+func rcResources(in *match.Instantiation, escalate int) (plan []lock.Resource, escalated, saved int) {
 	var out []lock.Resource
 	for _, w := range in.WMEs {
 		out = append(out, lock.Resource{Class: w.Class, ID: w.ID})
@@ -22,7 +26,11 @@ func rcResources(in *match.Instantiation) []lock.Resource {
 			out = append(out, lock.Relation(c.Class))
 		}
 	}
-	return dedupeResources(out)
+	out = dedupeResources(out)
+	if escalate > 0 {
+		out, escalated, saved = escalateResources(out, escalate)
+	}
+	return out, escalated, saved
 }
 
 // rhsLock pairs a resource with the mode the RHS needs on it.
@@ -36,8 +44,11 @@ type rhsLock struct {
 // remove, Ra on matched WMEs the action re-reads (Rule.ActionReads),
 // and a relation-level Wa for every class the action makes tuples in
 // (creation can falsify negated conditions anywhere in the class).
-// The plan is sorted for deterministic acquisition order.
-func rhsLocks(in *match.Instantiation) []rhsLock {
+// When escalate is above 0, any class with more than that many
+// tuple-level entries collapses to one relation-level lock at the
+// strongest mode those tuples needed. The plan is sorted for
+// deterministic acquisition order.
+func rhsLocks(in *match.Instantiation, escalate int) (plan []rhsLock, escalated, saved int) {
 	modes := make(map[lock.Resource]lock.Mode)
 	raise := func(res lock.Resource, m lock.Mode) {
 		if cur, ok := modes[res]; !ok || m > cur {
@@ -57,34 +68,101 @@ func rhsLocks(in *match.Instantiation) []rhsLock {
 			raise(lock.Resource{Class: w.Class, ID: w.ID}, lock.Wa)
 		}
 	}
-	out := make([]rhsLock, 0, len(modes))
-	for res, m := range modes {
-		out = append(out, rhsLock{res, m})
+	if escalate > 0 {
+		perClass := make(map[string]int)
+		maxMode := make(map[string]lock.Mode)
+		for res, m := range modes {
+			if res.ID != lock.RelationLevel {
+				perClass[res.Class]++
+				if m > maxMode[res.Class] {
+					maxMode[res.Class] = m
+				}
+			}
+		}
+		for class, n := range perClass {
+			if n <= escalate {
+				continue
+			}
+			before := n
+			if _, ok := modes[lock.Relation(class)]; ok {
+				before++
+			}
+			for res := range modes {
+				if res.Class == class && res.ID != lock.RelationLevel {
+					delete(modes, res)
+				}
+			}
+			raise(lock.Relation(class), maxMode[class])
+			escalated++
+			saved += before - 1
+		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].res, out[j].res
+	plan = make([]rhsLock, 0, len(modes))
+	for res, m := range modes {
+		plan = append(plan, rhsLock{res, m})
+	}
+	sort.Slice(plan, func(i, j int) bool {
+		a, b := plan[i].res, plan[j].res
 		if a.Class != b.Class {
 			return a.Class < b.Class
 		}
 		return a.ID < b.ID
 	})
-	return out
+	return plan, escalated, saved
 }
 
+// dedupeResources sorts the plan and compacts duplicates in place —
+// no scratch map, no allocation beyond the caller's slice (the old
+// per-call map showed up in lock-heavy memory profiles).
 func dedupeResources(rs []lock.Resource) []lock.Resource {
-	seen := make(map[lock.Resource]bool, len(rs))
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Class != rs[j].Class {
+			return rs[i].Class < rs[j].Class
+		}
+		return rs[i].ID < rs[j].ID
+	})
 	out := rs[:0]
 	for _, r := range rs {
-		if !seen[r] {
-			seen[r] = true
+		if len(out) == 0 || out[len(out)-1] != r {
 			out = append(out, r)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Class != out[j].Class {
-			return out[i].Class < out[j].Class
-		}
-		return out[i].ID < out[j].ID
-	})
 	return out
+}
+
+// escalateResources collapses classes holding more than threshold
+// tuple-level entries in the sorted, deduped plan to one
+// relation-level resource each. A relation-level lock conflicts with
+// every tuple lock of the class (and vice versa, via intention marks),
+// so the escalated plan is strictly more conservative — never less
+// safe, possibly less concurrent. Returns the rewritten plan, the
+// number of classes escalated, and the lock acquisitions avoided.
+func escalateResources(rs []lock.Resource, threshold int) ([]lock.Resource, int, int) {
+	out := rs[:0]
+	escalated, saved := 0, 0
+	for i := 0; i < len(rs); {
+		j := i
+		for j < len(rs) && rs[j].Class == rs[i].Class {
+			j++
+		}
+		// RelationLevel (ID 0) sorts first within the class group.
+		hasRel := rs[i].ID == lock.RelationLevel
+		tuples := j - i
+		if hasRel {
+			tuples--
+		}
+		if tuples > threshold {
+			out = append(out, lock.Relation(rs[i].Class))
+			escalated++
+			before := tuples
+			if hasRel {
+				before++
+			}
+			saved += before - 1
+		} else {
+			out = append(out, rs[i:j]...)
+		}
+		i = j
+	}
+	return out, escalated, saved
 }

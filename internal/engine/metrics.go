@@ -54,6 +54,20 @@ type engineMetrics struct {
 	dispatchQ *obs.Gauge
 	submitQ   *obs.Gauge
 
+	// elides counts firings that skipped the lock manager under
+	// HybridElision; elideFallback counts firings that wanted to elide
+	// but found an interfering rule in flight and took locks instead.
+	elides        *obs.Counter
+	elideFallback *obs.Counter
+	// escalations counts lock plans collapsed to a relation-level lock
+	// under LockEscalation; escalationSaved totals the tuple-level
+	// acquisitions those escalations avoided.
+	escalations     *obs.Counter
+	escalationSaved *obs.Counter
+	// commitBatch is the number of firings the committer applied between
+	// consecutive conflict-set refreshes (group commit).
+	commitBatch *obs.Histogram
+
 	mu    sync.Mutex
 	rules map[string]*ruleSeries
 }
@@ -73,6 +87,11 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		refreshDelta:    reg.Counter("engine_refresh_delta_total"),
 		dispatchQ:    reg.Gauge("engine_dispatch_depth"),
 		submitQ:      reg.Gauge("engine_submit_depth"),
+		elides:          reg.Counter("engine_elide_total"),
+		elideFallback:   reg.Counter("engine_elide_fallback_total"),
+		escalations:     reg.Counter("lock_escalation_total"),
+		escalationSaved: reg.Counter("lock_escalation_saved_locks_total"),
+		commitBatch:     reg.Histogram("commit_batch_size", "firings"),
 		rules:        make(map[string]*ruleSeries),
 	}
 }

@@ -47,6 +47,20 @@ type Parallel struct {
 	// without it the committer falls back to full rescans.
 	tracked bool
 
+	// inflight, when non-nil (Options.HybridElision), is the per-rule
+	// in-flight census gating lock elision; its matrix is the Section
+	// 4.1 interference analysis computed at construction.
+	inflight *inflightTable
+	// elideID mints trace transaction ids for elided firings, which
+	// never touch the lock manager; ids are negated so they can never
+	// collide with lock.TxnID values.
+	elideID atomic.Int64
+
+	// batchCommits counts commits applied since the last conflict-set
+	// refresh (group commit; committer-owned). The committer refreshes
+	// when it reaches Options.CommitBatch or its event queue drains.
+	batchCommits int
+
 	// stopping is the workers' fast-path view of rt.stopping().
 	stopping atomic.Bool
 
@@ -109,14 +123,21 @@ const (
 
 // pevent is one message on the committer's event queue.
 type pevent struct {
-	kind  pevKind
-	in    *match.Instantiation
-	txn   lock.TxnID
-	wtx   *wm.Txn
-	halt  bool
-	start time.Time
-	err   error
-	reply chan struct{}
+	kind pevKind
+	in   *match.Instantiation
+	txn  lock.TxnID
+	// tid is the trace transaction id: int64(txn) for locked firings, a
+	// negative elideID for elided ones.
+	tid int64
+	// elided marks a firing that skipped the lock manager; the
+	// committer then skips the abort check and the RcVictims scan (there
+	// is no lock transaction to consult).
+	elided bool
+	wtx    *wm.Txn
+	halt   bool
+	start  time.Time
+	err    error
+	reply  chan struct{}
 }
 
 // PipelineStats reports the commit pipeline's queue depths: the
@@ -173,6 +194,12 @@ func NewParallel(p Program, scheme lock.Scheme, opts Options) (*Parallel, error)
 		t.TrackChanges(true)
 		e.tracked = true
 	}
+	if rt.opts.HybridElision {
+		// The pre-execution interference analysis (Section 4.1), shared
+		// with the Static engine's matrix type; rows materialise lazily,
+		// so programs whose rules all stay locked pay O(n) here.
+		e.inflight = newInflightTable(match.NewInterferenceMatrix(p.Rules))
+	}
 	return e, nil
 }
 
@@ -214,20 +241,27 @@ func (e *Parallel) Run() (Result, error) {
 		stop := e.stopping.Load()
 
 		// Pick the next dispatchable instantiation, lazily pruning
-		// entries whose keys fired or left the conflict set.
+		// entries whose keys fired or left the conflict set. Group
+		// commit: only when the dispatch queue runs dry (and no
+		// submitted event is waiting) is the deferred conflict-set
+		// refresh applied — it may enable new work, and the quiescence
+		// check below must see it. Flushing on a dry queue rather than
+		// a drained event channel is what lets batches accumulate to
+		// CommitBatch while the workers stay fed from older pending
+		// activations.
 		var sendCh chan *match.Instantiation
 		var next *match.Instantiation
 		if !stop {
-			for len(e.pending) > 0 {
-				in := e.pending[0]
-				k := in.Key()
-				if e.activeHas(k) && !rt.fired[k] {
-					next, sendCh = in, e.work
-					break
-				}
-				delete(e.dispatched, k)
-				e.pending = e.pending[1:]
+			next = e.nextDispatch()
+		}
+		if next == nil && len(e.events) == 0 {
+			e.flushRefresh()
+			if !stop {
+				next = e.nextDispatch()
 			}
+		}
+		if next != nil {
+			sendCh = e.work
 		}
 		rt.met.dispatchQ.Set(int64(len(e.pending)))
 
@@ -271,18 +305,14 @@ func (e *Parallel) runDet() (Result, error) {
 		}
 		stop := e.stopping.Load()
 
+		// Dispatch up to Np tasks; group commit flushes the deferred
+		// refresh only when the dispatch queue runs dry, as in Run.
 		if !stop {
 			for inflight < rt.opts.Np {
-				var next *match.Instantiation
-				for len(e.pending) > 0 {
-					in := e.pending[0]
-					k := in.Key()
-					if e.activeHas(k) && !rt.fired[k] {
-						next = in
-						break
-					}
-					delete(e.dispatched, k)
-					e.pending = e.pending[1:]
+				next := e.nextDispatch()
+				if next == nil && len(e.det.events) == 0 {
+					e.flushRefresh()
+					next = e.nextDispatch()
 				}
 				if next == nil {
 					break
@@ -292,6 +322,10 @@ func (e *Parallel) runDet() (Result, error) {
 				in := next
 				e.ctl.Go("fire:"+in.Rule.Name, func() { e.fire(in) })
 			}
+		} else if len(e.det.events) == 0 {
+			// Stopping: flush so the batch histogram and conflict set
+			// settle before the quiescence check.
+			e.flushRefresh()
 		}
 		rt.met.dispatchQ.Set(int64(len(e.pending)))
 
@@ -318,6 +352,22 @@ func (e *Parallel) runDet() (Result, error) {
 	return rt.result(), rt.err
 }
 
+// nextDispatch returns the head of the dispatch queue, first pruning
+// entries whose keys fired or left the conflict set. The entry stays
+// queued — the caller pops it once the hand-off commits.
+func (e *Parallel) nextDispatch() *match.Instantiation {
+	for len(e.pending) > 0 {
+		in := e.pending[0]
+		k := in.Key()
+		if e.activeHas(k) && !e.rt.fired[k] {
+			return in
+		}
+		delete(e.dispatched, k)
+		e.pending = e.pending[1:]
+	}
+	return nil
+}
+
 // handleEvent applies one worker→committer event and returns the
 // deltas to the in-flight firing and armed backoff-timer counts.
 func (e *Parallel) handleEvent(ev pevent) (dInflight, dTimers int) {
@@ -326,16 +376,19 @@ func (e *Parallel) handleEvent(ev pevent) (dInflight, dTimers int) {
 	case evCommit:
 		dInflight = -1
 		dTimers = e.resolveCommit(ev)
+		e.releaseInflight(ev.in)
 	case evAborted:
 		dInflight = -1
 		if ev.err != nil {
 			rt.fail(ev.err)
 		}
 		dTimers = e.noteAbort(ev.in)
+		e.releaseInflight(ev.in)
 	case evSkipped:
 		dInflight = -1
 		rt.met.skipInc()
 		delete(e.dispatched, ev.in.Key())
+		e.releaseInflight(ev.in)
 	case evRequeue:
 		dTimers = -1
 		k := ev.in.Key()
@@ -346,6 +399,20 @@ func (e *Parallel) handleEvent(ev pevent) (dInflight, dTimers int) {
 		}
 	}
 	return
+}
+
+// releaseInflight retires a firing's census registration. Every fire()
+// call submits exactly one terminal event (evCommit, evAborted or
+// evSkipped), so releasing here — on the committer, before the next
+// dispatch — pairs one release with each register and guarantees the
+// successor activation of the same rule sees the slot already free.
+func (e *Parallel) releaseInflight(in *match.Instantiation) {
+	if e.inflight == nil {
+		return
+	}
+	if idx, ok := e.inflight.im.Index(in.Rule.Name); ok {
+		e.inflight.release(idx)
+	}
 }
 
 // submit hands a worker-side event to the committer.
@@ -464,7 +531,7 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 	defer close(ev.reply)
 
 	switch {
-	case e.lm.Aborted(ev.txn):
+	case !ev.elided && e.lm.Aborted(ev.txn):
 		ev.wtx.Abort()
 		e.logResolution(trace.KindAbort, ev, "rc-wa victim")
 		timers = e.noteAbort(ev.in)
@@ -485,7 +552,7 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 			delete(e.retries, key)
 			break
 		}
-		if err := rt.commit(ev.in, ev.wtx, int64(ev.txn), ev.halt); err != nil {
+		if err := rt.commit(ev.in, ev.wtx, ev.tid, ev.halt); err != nil {
 			rt.fail(err)
 			if errors.Is(err, ErrInconsistent) {
 				ev.wtx.Abort()
@@ -504,23 +571,43 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 		e.deactivate(key)
 		delete(e.dispatched, key)
 		delete(e.retries, key)
-		cs = rt.matcher.ConflictSet() // post-commit state
-		// Rule (ii): abort conflicting Rc holders — unless the
-		// reevaluate policy finds their instantiation untouched by
-		// this commit.
-		for _, victim := range e.lm.RcVictims(ev.txn) {
-			if rt.opts.AbortPolicy == AbortReevaluate {
-				if vk, ok := e.txnInst.Load(victim); ok {
-					if k := vk.(string); cs.Contains(k) && !rt.fired[k] {
-						continue
+		if !ev.elided {
+			cs = rt.matcher.ConflictSet() // post-commit state
+			// Rule (ii): abort conflicting Rc holders — unless the
+			// reevaluate policy finds their instantiation untouched by
+			// this commit.
+			for _, victim := range e.lm.RcVictims(ev.txn) {
+				if rt.opts.AbortPolicy == AbortReevaluate {
+					if vk, ok := e.txnInst.Load(victim); ok {
+						if k := vk.(string); cs.Contains(k) && !rt.fired[k] {
+							continue
+						}
 					}
 				}
+				e.lm.Abort(victim)
 			}
-			e.lm.Abort(victim)
 		}
-		e.refresh(cs)
+		// Group commit: defer the conflict-set refresh until the batch
+		// fills; the run loop flushes early whenever its queue drains.
+		e.batchCommits++
+		if e.batchCommits >= rt.opts.CommitBatch {
+			e.flushRefresh()
+		}
 	}
 	return timers
+}
+
+// flushRefresh applies the deferred post-commit refresh: one
+// conflict-set reconciliation and dispatch pass covering every commit
+// since the previous flush. With CommitBatch 1 (the default) it runs
+// after every commit, reproducing the unbatched pipeline exactly.
+func (e *Parallel) flushRefresh() {
+	if e.batchCommits == 0 {
+		return
+	}
+	e.rt.met.commitBatch.Observe(int64(e.batchCommits))
+	e.batchCommits = 0
+	e.refresh(e.rt.matcher.ConflictSet())
 }
 
 // noteAbort counts an abort and, if the instantiation is still live,
@@ -559,7 +646,7 @@ func (e *Parallel) deactivate(key string) {
 // logResolution records the committer's verdict on a submission.
 func (e *Parallel) logResolution(kind trace.Kind, ev pevent, detail string) {
 	e.rt.opts.Log.Append(trace.Event{Kind: kind, Rule: ev.in.Rule.Name,
-		Inst: ev.in.Key(), Txn: int64(ev.txn), Detail: detail})
+		Inst: ev.in.Key(), Txn: ev.tid, Detail: detail})
 }
 
 // workerLoop fires instantiations from the work channel until it
@@ -572,10 +659,29 @@ func (e *Parallel) workerLoop() {
 }
 
 // fire executes one instantiation as a transaction and submits the
-// outcome to the committer.
+// outcome to the committer. Under HybridElision it first registers
+// with the in-flight census; a firing whose rule interferes with
+// nothing in flight takes the lock-free path instead. The census
+// registration is released by the committer when it resolves the
+// firing's terminal event (see handleEvent), not here: the committer
+// dispatches successor activations right after resolving a commit, so
+// a worker-side deferred release would race the successor's census
+// check and turn clean elisions into spurious fallbacks.
 func (e *Parallel) fire(in *match.Instantiation) {
 	rt := e.rt
 	key := in.Key()
+	if e.inflight != nil {
+		if idx, ok := e.inflight.im.Index(in.Rule.Name); ok {
+			// Register before checking: concurrent registrants of
+			// interfering rules each see the other and both fall back.
+			e.inflight.register(idx)
+			if e.inflight.canElide(idx) {
+				e.fireElided(in, key)
+				return
+			}
+			rt.met.elideFallback.Inc()
+		}
+	}
 	txn := e.lm.Begin()
 	e.txnInst.Store(txn, key)
 	end := func() {
@@ -595,8 +701,14 @@ func (e *Parallel) fire(in *match.Instantiation) {
 		e.submit(pevent{kind: evSkipped, in: in})
 	}
 
-	// Phase 1: Rc locks for condition evaluation (Figure 4.2).
-	for _, res := range rcResources(in) {
+	// Phase 1: Rc locks for condition evaluation (Figure 4.2),
+	// class-escalated past the LockEscalation threshold.
+	rcPlan, esc, saved := rcResources(in, rt.opts.LockEscalation)
+	if esc > 0 {
+		rt.met.escalations.Add(int64(esc))
+		rt.met.escalationSaved.Add(int64(saved))
+	}
+	for _, res := range rcPlan {
 		if err := e.lm.Acquire(txn, res, lock.Rc); err != nil {
 			abort("rc: "+err.Error(), nil)
 			return
@@ -619,8 +731,14 @@ func (e *Parallel) fire(in *match.Instantiation) {
 		e.clock.Sleep(d)
 	}
 
-	// Phase 2: all Ra and Wa locks at RHS start (Section 4.3).
-	for _, l := range rhsLocks(in) {
+	// Phase 2: all Ra and Wa locks at RHS start (Section 4.3),
+	// escalated like the Rc plan.
+	rhsPlan, esc, saved := rhsLocks(in, rt.opts.LockEscalation)
+	if esc > 0 {
+		rt.met.escalations.Add(int64(esc))
+		rt.met.escalationSaved.Add(int64(saved))
+	}
+	for _, l := range rhsPlan {
 		if err := e.lm.Acquire(txn, l.res, l.mode); err != nil {
 			abort(l.mode.String()+": "+err.Error(), nil)
 			return
@@ -642,7 +760,48 @@ func (e *Parallel) fire(in *match.Instantiation) {
 	// Submit to the committer; hold the lock transaction open until it
 	// answers so a commit's RcVictims scan still sees our locks.
 	reply := make(chan struct{})
-	e.submit(pevent{kind: evCommit, in: in, txn: txn, wtx: wtx, halt: halt, start: start, reply: reply})
+	e.submit(pevent{kind: evCommit, in: in, txn: txn, tid: int64(txn), wtx: wtx, halt: halt, start: start, reply: reply})
 	e.await(reply)
 	end()
+}
+
+// fireElided is the lock-free firing path of the hybrid scheme: by
+// Theorem 1 the rule interferes with nothing in flight, so its effects
+// commute with every concurrent firing and no lock transaction is
+// opened. The staleness check and the committer's conflict-set
+// validation still run — they, not the locks, are what guarantees
+// consistency; elision only removes the lock-table traffic.
+func (e *Parallel) fireElided(in *match.Instantiation, key string) {
+	rt := e.rt
+	tid := -e.elideID.Add(1)
+	// Count at path entry: engine_elide_total + engine_elide_fallback_total
+	// always equals commits+aborts+skips, making census leaks visible.
+	rt.met.elides.Inc()
+	if e.stopping.Load() || !e.activeHas(key) {
+		rt.opts.Log.Append(trace.Event{Kind: trace.KindSkip, Rule: in.Rule.Name,
+			Inst: key, Txn: tid, Detail: "stale before execution"})
+		e.submit(pevent{kind: evSkipped, in: in})
+		return
+	}
+	rt.opts.Log.Append(trace.Event{Kind: trace.KindFire, Rule: in.Rule.Name,
+		Inst: key, Txn: tid, Detail: "elided"})
+	start := e.clock.Now()
+	if d := rt.opts.CondDelay[in.Rule.Name]; d > 0 {
+		e.clock.Sleep(d)
+	}
+	if d := rt.opts.RuleDelay[in.Rule.Name]; d > 0 {
+		e.clock.Sleep(d)
+	}
+	wtx := rt.store.Begin()
+	halt, err := match.ExecuteActions(in, wtx)
+	if err != nil {
+		wtx.Abort()
+		rt.opts.Log.Append(trace.Event{Kind: trace.KindAbort, Rule: in.Rule.Name,
+			Inst: key, Txn: tid, Detail: "action error"})
+		e.submit(pevent{kind: evAborted, in: in, err: err})
+		return
+	}
+	reply := make(chan struct{})
+	e.submit(pevent{kind: evCommit, in: in, elided: true, tid: tid, wtx: wtx, halt: halt, start: start, reply: reply})
+	e.await(reply)
 }

@@ -17,27 +17,22 @@ import (
 // batch is equivalent to firing its members in any serial order.
 type Static struct {
 	rt *runtime
-	// interferes[a][b] caches match.Interferes for rule names a, b.
-	interferes map[string]map[string]bool
+	// im is the pairwise rule-interference relation, shared with the
+	// hybrid elision path of the Parallel engine.
+	im *match.InterferenceMatrix
 }
 
-// NewStatic builds a static-partition parallel engine. The pairwise
-// rule-interference matrix is computed once, up front — the paper's
-// pre-execution analysis.
+// NewStatic builds a static-partition parallel engine. The
+// rule-interference matrix — the paper's pre-execution analysis — is
+// constructed up front but materialises rows lazily, so large
+// generated programs (cmd/psgen) pay O(n) instead of O(n²) when only
+// a few rules ever activate together.
 func NewStatic(p Program, opts Options) (*Static, error) {
 	rt, err := newRuntime(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	inter := make(map[string]map[string]bool, len(p.Rules))
-	for _, a := range p.Rules {
-		row := make(map[string]bool, len(p.Rules))
-		for _, b := range p.Rules {
-			row[b.Name] = match.Interferes(a, b)
-		}
-		inter[a.Name] = row
-	}
-	return &Static{rt: rt, interferes: inter}, nil
+	return &Static{rt: rt, im: match.NewInterferenceMatrix(p.Rules)}, nil
 }
 
 // Store exposes the engine's working memory.
@@ -48,7 +43,7 @@ func (e *Static) Metrics() *obs.Registry { return e.rt.opts.Metrics }
 
 // Interferes reports the cached interference relation between two
 // rules (exposed for tests and the psbench harness).
-func (e *Static) Interferes(a, b string) bool { return e.interferes[a][b] }
+func (e *Static) Interferes(a, b string) bool { return e.im.Interferes(a, b) }
 
 // Run executes batched cycles until no unfired instantiation remains,
 // a halt fires, or MaxFirings is hit.
@@ -132,7 +127,7 @@ func (e *Static) batch(cands []*match.Instantiation) []*match.Instantiation {
 		}
 		ok := true
 		for _, member := range batch {
-			if e.interferes[in.Rule.Name][member.Rule.Name] || e.interferes[member.Rule.Name][in.Rule.Name] {
+			if e.im.Interferes(in.Rule.Name, member.Rule.Name) {
 				ok = false
 				break
 			}

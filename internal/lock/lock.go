@@ -17,6 +17,14 @@
 // process-wide transaction registry (its own mutex) carries the
 // waits-for graph, so the deadlock detector and the wound-wait /
 // wait-die policies still see every shard's waiters.
+//
+// Tuple/relation hierarchy is mediated by intention bookkeeping in the
+// multi-granularity style: every tuple-level grant also records an
+// intention mark for its mode on the class's relation-level entry, so
+// a relation-level request resolves its conflicts against that one
+// entry — full-mode holders plus intention marks, each judged by the
+// scheme's Table 4.1 compatibility of the underlying tuple mode — in
+// O(holders) rather than by scanning every tuple entry of the class.
 package lock
 
 import (
@@ -171,16 +179,29 @@ func signal(ch chan struct{}) {
 	}
 }
 
+// intentBit is the intention mark for a tuple-level mode, recorded on
+// the class's relation entry (multi-granularity IRc/IRa/IWa).
+func intentBit(m Mode) uint8 { return 1 << m }
+
 type entry struct {
 	holders map[TxnID]Mode
+	// intents, on relation-level entries, maps each transaction holding
+	// tuple locks inside the class to the bitmask of tuple modes it
+	// holds — the intention modes (IRc/IRa/IWa) of hierarchical locking.
+	// A relation-level request conflicts with an intention mark exactly
+	// when it would conflict with the underlying tuple mode (Table 4.1).
+	// Nil on tuple-level entries.
+	intents map[TxnID]uint8
 }
+
+// live reports whether the entry still records any lock state.
+func (e *entry) live() bool { return len(e.holders) > 0 || len(e.intents) > 0 }
 
 // shard is one slice of the lock tables: every resource whose class
 // hashes here, tuple- and relation-level alike.
 type shard struct {
 	mu      sync.Mutex
 	entries map[Resource]*entry
-	byClass map[string]map[int64]*entry // tuple-level entries per class
 
 	// waiters holds one one-slot channel per blocked Acquire iteration;
 	// a release broadcast signals and clears them all. Channel waiters
@@ -270,10 +291,7 @@ func NewManagerShards(s Scheme, p DeadlockPolicy, shards int) *Manager {
 	m := &Manager{scheme: s, policy: p, seed: maphash.MakeSeed()}
 	m.shards = make([]*shard, shards)
 	for i := range m.shards {
-		m.shards[i] = &shard{
-			entries: make(map[Resource]*entry),
-			byClass: make(map[string]map[int64]*entry),
-		}
+		m.shards[i] = &shard{entries: make(map[Resource]*entry)}
 	}
 	m.reg.txns = make(map[TxnID]*txnState)
 	return m
@@ -454,23 +472,29 @@ func (m *Manager) TryAcquire(id TxnID, res Resource, mode Mode) (bool, error) {
 	return true, nil
 }
 
-// grantLocked records the lock; caller holds s.mu.
+// grantLocked records the lock; caller holds s.mu. A tuple-level grant
+// also marks the transaction's intention mode on the class's relation
+// entry, so relation-level requests and commit-time victim scans read
+// one entry instead of walking the class's tuple entries.
 func (m *Manager) grantLocked(s *shard, tx *txnState, res Resource, mode Mode) {
 	e := s.entries[res]
 	if e == nil {
 		e = &entry{holders: make(map[TxnID]Mode)}
 		s.entries[res] = e
-		if res.ID != RelationLevel {
-			cls := s.byClass[res.Class]
-			if cls == nil {
-				cls = make(map[int64]*entry)
-				s.byClass[res.Class] = cls
-			}
-			cls[res.ID] = e
-		}
 	}
 	if cur, ok := e.holders[tx.id]; !ok || mode > cur {
 		e.holders[tx.id] = mode
+	}
+	if res.ID != RelationLevel {
+		rel := s.entries[Relation(res.Class)]
+		if rel == nil {
+			rel = &entry{holders: make(map[TxnID]Mode)}
+			s.entries[Relation(res.Class)] = rel
+		}
+		if rel.intents == nil {
+			rel.intents = make(map[TxnID]uint8)
+		}
+		rel.intents[tx.id] |= intentBit(mode)
 	}
 	m.reg.Lock()
 	if cur, ok := tx.held[res]; !ok || mode > cur {
@@ -485,31 +509,46 @@ func (m *Manager) grantLocked(s *shard, tx *txnState, res Resource, mode Mode) {
 // blockersLocked returns the transactions whose held locks are
 // incompatible with the request, mapped to the strongest such held
 // mode (for the conflict-by-mode-pair metric), considering the
-// tuple/relation hierarchy. Caller holds s.mu; the class's tuple- and
-// relation-level entries all live in s.
+// tuple/relation hierarchy. A tuple-level request checks its own entry
+// plus the relation entry's full-mode holders; a relation-level
+// request checks the relation entry's full-mode holders plus its
+// intention marks, each judged by the underlying tuple mode. Caller
+// holds s.mu; the class's tuple- and relation-level entries all live
+// in s.
 func (m *Manager) blockersLocked(s *shard, id TxnID, res Resource, mode Mode) map[TxnID]Mode {
 	blockers := make(map[TxnID]Mode)
+	note := func(hid TxnID, held Mode) {
+		if hid == id {
+			return
+		}
+		if !Compatible(m.scheme, held, mode) {
+			if cur, ok := blockers[hid]; !ok || held > cur {
+				blockers[hid] = held
+			}
+		}
+	}
 	collect := func(e *entry) {
 		if e == nil {
 			return
 		}
 		for hid, held := range e.holders {
-			if hid == id {
-				continue
-			}
-			if !Compatible(m.scheme, held, mode) {
-				if cur, ok := blockers[hid]; !ok || held > cur {
-					blockers[hid] = held
+			note(hid, held)
+		}
+	}
+	if res.ID == RelationLevel {
+		rel := s.entries[res]
+		collect(rel)
+		if rel != nil {
+			for hid, bits := range rel.intents {
+				for tm := Rc; tm <= Wa; tm++ {
+					if bits&intentBit(tm) != 0 {
+						note(hid, tm)
+					}
 				}
 			}
 		}
-	}
-	collect(s.entries[res])
-	if res.ID == RelationLevel {
-		for _, e := range s.byClass[res.Class] {
-			collect(e)
-		}
 	} else {
+		collect(s.entries[res])
 		collect(s.entries[Relation(res.Class)])
 	}
 	if len(blockers) == 0 {
@@ -674,8 +713,14 @@ func (m *Manager) RcVictims(id TxnID) []TxnID {
 		for _, res := range rs {
 			scan(s.entries[res])
 			if res.ID == RelationLevel {
-				for _, e := range s.byClass[res.Class] {
-					scan(e)
+				// A class-level Wa also victimises tuple-level Rc holders
+				// inside the class: their intention marks carry the Rc bit.
+				if rel := s.entries[res]; rel != nil {
+					for hid, bits := range rel.intents {
+						if hid != id && bits&intentBit(Rc) != 0 {
+							victims[hid] = true
+						}
+					}
 				}
 			} else {
 				scan(s.entries[Relation(res.Class)])
@@ -717,19 +762,21 @@ func (m *Manager) End(id TxnID) {
 	for s, rs := range byShard {
 		s.mu.Lock()
 		for _, res := range rs {
-			e := s.entries[res]
-			if e == nil {
-				continue
+			if e := s.entries[res]; e != nil {
+				delete(e.holders, id)
+				if !e.live() {
+					delete(s.entries, res)
+				}
 			}
-			delete(e.holders, id)
-			if len(e.holders) == 0 {
-				delete(s.entries, res)
-				if res.ID != RelationLevel {
-					if cls := s.byClass[res.Class]; cls != nil {
-						delete(cls, res.ID)
-						if len(cls) == 0 {
-							delete(s.byClass, res.Class)
-						}
+			if res.ID != RelationLevel {
+				// Drop the intention mark; the whole class's tuple locks are
+				// released together here, so one delete per class would do,
+				// but per-resource keeps this loop shape simple.
+				relRes := Relation(res.Class)
+				if rel := s.entries[relRes]; rel != nil {
+					delete(rel.intents, id)
+					if !rel.live() {
+						delete(s.entries, relRes)
 					}
 				}
 			}

@@ -3,7 +3,9 @@ package match
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"pdps/internal/wm"
 )
@@ -15,18 +17,30 @@ type Instantiation struct {
 	Rule     *Rule
 	WMEs     []*wm.WME
 	Bindings Bindings
+
+	keyOnce sync.Once
+	key     string
 }
 
 // Key returns a string uniquely identifying the instantiation: the
 // rule name plus the identities and versions of the matched WMEs. Two
-// instantiations with equal keys matched the same data.
+// instantiations with equal keys matched the same data. The key is
+// memoized — the engine asks for it on every dispatch, staleness check
+// and commit, from workers and committer concurrently, and the inputs
+// (rule and matched WME versions) are immutable once matched.
 func (in *Instantiation) Key() string {
-	var b strings.Builder
-	b.WriteString(in.Rule.Name)
-	for _, w := range in.WMEs {
-		fmt.Fprintf(&b, "|%d@%d", w.ID, w.TimeTag)
-	}
-	return b.String()
+	in.keyOnce.Do(func() {
+		buf := make([]byte, 0, len(in.Rule.Name)+12*len(in.WMEs))
+		buf = append(buf, in.Rule.Name...)
+		for _, w := range in.WMEs {
+			buf = append(buf, '|')
+			buf = strconv.AppendInt(buf, w.ID, 10)
+			buf = append(buf, '@')
+			buf = strconv.AppendUint(buf, w.TimeTag, 10)
+		}
+		in.key = string(buf)
+	})
+	return in.key
 }
 
 // TimeTags returns the matched WMEs' time tags sorted in descending

@@ -287,6 +287,39 @@ func SharedCounter(parts, stages int) engine.Program {
 	return p
 }
 
+// Independent builds the elision-friendly extreme: `rules` rules, each
+// over its own private class, stepping its own single counter tuple
+// `steps` times. No rule's write set overlaps any other rule's read or
+// write set, so the Section 4.1 analysis declares every pair
+// non-interfering — and each rule has exactly one tuple, so no two
+// instances of the same rule are ever simultaneously active. Under
+// HybridElision every firing takes the lock-free path; with elision
+// off, every firing pays the full Rc/Wa lock round-trip for nothing.
+// Firings: rules×steps; final value of every counter equals steps.
+func Independent(rules, steps int) engine.Program {
+	var p engine.Program
+	for r := 0; r < rules; r++ {
+		cls := fmt.Sprintf("cell%d", r)
+		p.Rules = append(p.Rules, &match.Rule{
+			Name: fmt.Sprintf("step%d", r),
+			Conditions: []match.Condition{
+				{Class: cls, Tests: []match.AttrTest{
+					{Attr: "v", Op: match.OpEq, Var: "x"},
+					{Attr: "v", Op: match.OpLt, Const: wm.Int(int64(steps))},
+				}},
+			},
+			Actions: []match.Action{
+				{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+					{Attr: "v", Expr: match.BinExpr{Op: match.ArithAdd,
+						L: match.VarExpr{Name: "x"}, R: match.ConstExpr{Val: wm.Int(1)}}},
+				}},
+			},
+		})
+		p.WMEs = append(p.WMEs, engine.InitialWME{Class: cls, Attrs: attrs("v", 0)})
+	}
+	return p
+}
+
 // Guarded builds a program exercising negated conditions and lock
 // escalation: each job is shipped only while no hold tuple for its
 // lane exists; a matching auditor rule files holds for odd lanes

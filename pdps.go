@@ -483,6 +483,9 @@ var (
 	SharedCounter = workload.SharedCounter
 	// JoinHeavy generates the match-bound deep-join workload.
 	JoinHeavy = workload.JoinHeavy
+	// Independent generates the pairwise non-interfering counter
+	// workload — the elision-friendly extreme of the hybrid scheme.
+	Independent = workload.Independent
 	// Guarded generates a workload with negated conditions.
 	Guarded = workload.Guarded
 	// RandomProgram generates random terminating concrete programs.
