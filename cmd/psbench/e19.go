@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"pdps"
+)
+
+// e19 measures the durability tax and the group-commit amortization of
+// the storage layer (DESIGN.md §12): the same commit-bound workload
+// runs with no storage, the in-memory backend, and the file backend
+// under fsync-per-commit vs growing group-commit batches. The
+// acceptance bar is ≥5x throughput for batched group commit over
+// fsync-per-commit on the file backend, with the no-op backend within
+// noise of running without storage.
+func e19() {
+	const rules, steps, np = 32, 48, 32
+	const trials = 5
+	mkProg := func() pdps.Program { return pdps.Independent(rules, steps) }
+
+	type row struct {
+		name    string
+		elapsed time.Duration
+		res     pdps.Result
+		fsyncs  int64
+		group   string
+	}
+
+	runOnce := func(backend pdps.StorageBackend, batch int) (time.Duration, pdps.Result, pdps.Engine) {
+		prog := mkProg()
+		eng, err := pdps.NewParallelEngine(prog, pdps.SchemeRcRaWa, pdps.Options{
+			Np: np, CommitBatch: batch, Storage: backend, HybridElision: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := eng.Run()
+		elapsed := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+			log.Fatalf("INCONSISTENT: %v", err)
+		}
+		return elapsed, res, eng
+	}
+
+	fileBackend := func() (pdps.StorageBackend, func()) {
+		dir, err := os.MkdirTemp("", "pdps-e19")
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := pdps.OpenFileBackend(dir, pdps.FileBackendOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b, func() {
+			if err := b.Close(); err != nil {
+				log.Fatal(err)
+			}
+			os.RemoveAll(dir)
+		}
+	}
+	memBackend := func() (pdps.StorageBackend, func()) {
+		return pdps.NewMemBackend(), func() {}
+	}
+
+	configs := []struct {
+		name      string
+		batch     int
+		mkBackend func() (pdps.StorageBackend, func())
+	}{
+		{"no-storage", 64, nil},
+		{"mem/flush-on-dry", 64, memBackend},
+		{"file/fsync-per-commit", 1, fileBackend},
+		{"file/batch-8", 8, fileBackend},
+		{"file/batch-64", 64, fileBackend},
+	}
+
+	// Trials are interleaved round-robin across the configs (one trial
+	// of each per round) so a drift in the host's fsync latency over
+	// the sweep biases every config equally instead of skewing the
+	// ratios; each file trial still gets a fresh backend and directory
+	// so no trial inherits another's log.
+	type trial struct {
+		elapsed time.Duration
+		res     pdps.Result
+		eng     pdps.Engine
+	}
+	ts := make([][]trial, len(configs))
+	for t := 0; t < trials; t++ {
+		for ci, c := range configs {
+			var backend pdps.StorageBackend
+			cleanup := func() {}
+			if c.mkBackend != nil {
+				backend, cleanup = c.mkBackend()
+			}
+			elapsed, res, eng := runOnce(backend, c.batch)
+			cleanup()
+			ts[ci] = append(ts[ci], trial{elapsed, res, eng})
+		}
+	}
+
+	fmt.Printf("  commit-bound Independent(%d,%d), np=%d, median of %d interleaved:\n", rules, steps, np, trials)
+	rows := make([]row, len(configs))
+	for ci, c := range configs {
+		sort.Slice(ts[ci], func(i, j int) bool { return ts[ci][i].elapsed < ts[ci][j].elapsed })
+		m := ts[ci][len(ts[ci])/2]
+		snap := m.eng.Metrics().Snapshot()
+		group := "-"
+		if h, ok := snap.Histogram("wal_group_size"); ok && h.Count > 0 {
+			group = fmt.Sprintf("%.1f", float64(h.Sum)/float64(h.Count))
+		}
+		dumpMetrics("e19", c.name, m.eng)
+		rows[ci] = row{c.name, m.elapsed, m.res, snap.Counter("wal_fsync_total"), group}
+	}
+	var perCommit row
+	for _, r := range rows {
+		if r.name == "file/fsync-per-commit" {
+			perCommit = r
+		}
+	}
+	fmt.Printf("  %-24s %12s %12s %9s %10s %9s\n",
+		"config", "elapsed", "firings/s", "fsyncs", "mean grp", "vs sync1")
+	for _, r := range rows {
+		fmt.Printf("  %-24s %12v %12.0f %9d %10s %8.2fx\n",
+			r.name, r.elapsed.Round(time.Microsecond),
+			float64(r.res.Firings)/r.elapsed.Seconds(),
+			r.fsyncs, r.group,
+			float64(perCommit.elapsed)/float64(r.elapsed))
+	}
+	fmt.Println("  (group commit amortizes the fsync across every commit that queued")
+	fmt.Println("   during the previous one; the no-op backend prices the record codec)")
+}

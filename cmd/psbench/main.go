@@ -6,7 +6,7 @@
 // plus the factor sweeps of Section 5. Its output is the source of
 // EXPERIMENTS.md.
 //
-// Usage: psbench [-experiment all|e1|e2|...|e18] [-seeds N]
+// Usage: psbench [-experiment all|e1|e2|...|e19] [-seeds N]
 //
 // With -cpuprofile/-memprofile, a pprof CPU profile is recorded over
 // the selected experiments and a heap profile is written on exit, so
@@ -96,7 +96,7 @@ func dumpMetrics(id, run string, eng pdps.Engine) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psbench: ")
-	which := flag.String("experiment", "all", "experiment id (e1..e18) or all")
+	which := flag.String("experiment", "all", "experiment id (e1..e19) or all")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -132,6 +132,7 @@ func main() {
 		{"e16", "§4.3 — abort policy ablation (rule (ii) vs re-evaluate)", e16},
 		{"e17", "§2 — indexed match network and sharded delta pipeline", e17},
 		{"e18", "§4 — hybrid consistency: lock elision, class locks, group commit", e18},
+		{"e19", "§6 — durability tax and group-commit fsync amortization", e19},
 	}
 
 	ran := false

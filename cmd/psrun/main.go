@@ -44,7 +44,7 @@ func main() {
 		check      = flag.Bool("check", true, "check the trace against ES_single after the run")
 		showTrace  = flag.Bool("trace", false, "print the full event trace")
 		showWM     = flag.Bool("wm", false, "print the final working memory")
-		dataDir    = flag.String("data", "", "durable directory: log every commit and checkpoint at exit")
+		dataDir    = flag.String("data", "", "durable storage directory: group-commit log every firing, recover prior state on reopen")
 
 		showMetrics = flag.Bool("metrics", false, "print a text dump of the metrics registry after the run")
 		metricsJSON = flag.Bool("metrics-json", false, "print the metrics snapshot as JSON after the run")
@@ -78,13 +78,43 @@ func main() {
 		MaxFirings:  *maxFirings,
 		Verify:      *verify,
 	}
-	var durable *pdps.Durable
+	// With -data, commits flow through the file storage backend: a fresh
+	// directory is seeded with the program's initial working memory as a
+	// non-firing record; a non-empty one restores the recovered store and
+	// the program's declared WMEs are skipped (they are already durable).
+	var backend *pdps.FileBackend
+	var restoreBase *pdps.Store
 	if *dataDir != "" {
-		durable, err = pdps.OpenDurable(*dataDir)
+		backend, err = pdps.OpenFileBackend(*dataDir, pdps.FileBackendOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.WAL = durable.WAL()
+		rec, err := backend.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rec.LSN == 0 {
+			base := pdps.NewStore()
+			var init pdps.Delta
+			for _, iw := range prog.WMEs {
+				init.Adds = append(init.Adds, base.Insert(iw.Class, iw.Attrs))
+			}
+			if len(init.Adds) > 0 {
+				if _, err := backend.Append(&pdps.StorageRecord{Delta: &init}); err != nil {
+					log.Fatal(err)
+				}
+				if err := backend.Sync(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			opts.Restore = base
+		} else {
+			fmt.Printf("recovered %d records (LSN %d) from %s\n", len(rec.Records), rec.LSN, *dataDir)
+			opts.Restore = rec.Store
+		}
+		prog.WMEs = nil
+		restoreBase = opts.Restore.Clone()
+		opts.Storage = backend
 	}
 
 	var eng pdps.Engine
@@ -124,17 +154,6 @@ func main() {
 		fmt.Printf("metrics: http://%s/debug/vars\n", *metricsHTTP)
 	}
 
-	if durable != nil {
-		// Log the program's initial working memory as the first record
-		// so recovery replays onto an empty base.
-		init := eng.Store().All()
-		if len(init) > 0 {
-			if err := durable.WAL().Append(&pdps.Delta{Adds: init}); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
-
 	start := time.Now()
 	res, err := eng.Run()
 	if err != nil {
@@ -157,7 +176,12 @@ func main() {
 		}
 	}
 	if *check {
-		if err := pdps.CheckTrace(prog, res.Log.Commits()); err != nil {
+		if restoreBase != nil {
+			err = pdps.CheckTraceFrom(restoreBase, prog.Rules, res.Log.Commits())
+		} else {
+			err = pdps.CheckTrace(prog, res.Log.Commits())
+		}
+		if err != nil {
 			log.Fatalf("trace check FAILED: %v", err)
 		}
 		fmt.Println("trace check: consistent with single-thread semantics")
@@ -174,13 +198,11 @@ func main() {
 			fmt.Print(snap.Text())
 		}
 	}
-	if durable != nil {
-		if err := durable.Sync(); err != nil {
+	if backend != nil {
+		lsn := backend.LSN()
+		if err := backend.Close(); err != nil {
 			log.Fatal(err)
 		}
-		if err := durable.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("durable log written to %s\n", *dataDir)
+		fmt.Printf("durable storage at %s (LSN %d)\n", *dataDir, lsn)
 	}
 }

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdps"
+)
+
+// TestMain lets the test binary impersonate psrun: when PSRUN_MAIN is
+// set, it runs main() with the remaining arguments instead of the test
+// suite, so tests can exercise the real CLI end to end without a go
+// build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("PSRUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runPsrun(t *testing.T, args ...string) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "PSRUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("psrun %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+const growProgram = `
+(p grow
+  (cell ^gen <g> ^alive true)
+  (limit ^gen > <g>)
+  -->
+  (modify 1 ^gen (+ <g> 1)))
+(wme limit ^gen 3)
+(wme cell ^id 0 ^gen 0 ^alive true)
+(wme cell ^id 1 ^gen 0 ^alive true)
+`
+
+// TestDataDirRoundTrip drives the -data flag through its full cycle:
+// a first run seeds a fresh directory and logs every commit; a second
+// run recovers the quiesced state and fires nothing; the directory
+// itself recovers to the expected working memory.
+func TestDataDirRoundTrip(t *testing.T) {
+	progFile := filepath.Join(t.TempDir(), "grow.ops")
+	if err := os.WriteFile(progFile, []byte(growProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	first := runPsrun(t, "-engine", "parallel", "-data", dataDir, progFile)
+	if !strings.Contains(first, "firings=6") {
+		t.Fatalf("first run: want 6 firings (2 cells x 3 gens), got:\n%s", first)
+	}
+	if !strings.Contains(first, "trace check: consistent") {
+		t.Fatalf("first run: trace check missing:\n%s", first)
+	}
+	if !strings.Contains(first, "durable storage at "+dataDir+" (LSN 7)") {
+		t.Fatalf("first run: want LSN 7 (6 commits + seed), got:\n%s", first)
+	}
+
+	second := runPsrun(t, "-engine", "parallel", "-data", dataDir, progFile)
+	if !strings.Contains(second, "recovered 7 records (LSN 7)") {
+		t.Fatalf("second run: recovery banner missing:\n%s", second)
+	}
+	if !strings.Contains(second, "firings=0") {
+		t.Fatalf("second run: recovered state must be quiescent:\n%s", second)
+	}
+	if !strings.Contains(second, "durable storage at "+dataDir+" (LSN 7)") {
+		t.Fatalf("second run: LSN must not advance on a quiescent run:\n%s", second)
+	}
+
+	// The directory itself must recover to the final working memory:
+	// both cells grown to the limit, nothing else.
+	b, err := pdps.OpenFileBackend(dataDir, pdps.FileBackendOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec, err := b.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Store.Len() != 3 {
+		t.Fatalf("recovered %d WMEs, want 3", rec.Store.Len())
+	}
+	cells := 0
+	for _, w := range rec.Store.All() {
+		if w.Class != "cell" {
+			continue
+		}
+		cells++
+		if g := w.Attr("gen"); g != pdps.Int(3) {
+			t.Fatalf("cell not grown to limit: %v", w)
+		}
+	}
+	if cells != 2 {
+		t.Fatalf("recovered %d cells, want 2", cells)
+	}
+}
+
+// TestDataDirSingleEngine runs the same cycle on the single-thread
+// engine, which fsyncs per commit rather than per group.
+func TestDataDirSingleEngine(t *testing.T) {
+	progFile := filepath.Join(t.TempDir(), "grow.ops")
+	if err := os.WriteFile(progFile, []byte(growProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(t.TempDir(), "data")
+	first := runPsrun(t, "-engine", "single", "-data", dataDir, progFile)
+	if !strings.Contains(first, "firings=6") {
+		t.Fatalf("first run:\n%s", first)
+	}
+	second := runPsrun(t, "-engine", "single", "-data", dataDir, progFile)
+	if !strings.Contains(second, "firings=0") || !strings.Contains(second, "recovered 7 records") {
+		t.Fatalf("second run:\n%s", second)
+	}
+}

@@ -1,15 +1,18 @@
 // Persistence: the "knowledge persistence" half of the paper's
-// motivation for database production systems. A parallel run logs
-// every committed delta to a write-ahead log; the program then crashes
-// the in-memory state away, recovers a store from the initial snapshot
-// plus the log, and proves the recovered working memory is identical —
-// then resumes rule execution on the recovered state.
+// motivation for database production systems. A parallel run appends
+// every committed firing to a durable storage backend under
+// group-commit fsync; the program then throws the in-memory state
+// away, recovers the working memory and the commit history from the
+// backend, proves the recovered store is identical and the recovered
+// trace admissible — then resumes rule execution on the recovered
+// state.
 package main
 
 import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
 
 	"pdps"
 )
@@ -45,26 +48,38 @@ func main() {
 		})
 	}
 
-	// Snapshot the initial state (what a DBMS would have on disk).
-	base := func() *pdps.Store {
-		s, err := pdps.NewSession(prog, pdps.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return s.Store()
-	}()
-	var snapshot bytes.Buffer
-	if err := base.WriteSnapshot(&snapshot); err != nil {
-		log.Fatal(err)
-	}
-
-	// Run in parallel with write-ahead logging.
-	var logBuf bytes.Buffer
-	wal, err := pdps.NewWAL(&logBuf)
+	dir, err := os.MkdirTemp("", "pdps-persistence")
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := pdps.NewParallelEngine(prog, pdps.SchemeRcRaWa, pdps.Options{Np: 4, WAL: wal})
+	defer os.RemoveAll(dir)
+	backend, err := pdps.OpenFileBackend(dir, pdps.FileBackendOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed the backend with the initial working memory as a non-firing
+	// record, so recovery replays onto an empty base.
+	base := pdps.NewStore()
+	var init pdps.Delta
+	for _, iw := range prog.WMEs {
+		init.Adds = append(init.Adds, base.Insert(iw.Class, iw.Attrs))
+	}
+	if _, err := backend.Append(&pdps.StorageRecord{Delta: &init}); err != nil {
+		log.Fatal(err)
+	}
+	if err := backend.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	checkBase := base.Clone()
+
+	// Run in parallel; every commit is acknowledged only after its
+	// record reaches disk (group-commit fsync).
+	run := prog
+	run.WMEs = nil // the backend already carries the initial WM
+	eng, err := pdps.NewParallelEngine(run, pdps.SchemeRcRaWa, pdps.Options{
+		Np: 4, Storage: backend, Restore: base,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,23 +87,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ran to quiescence: %d commits, %d WAL records (%d bytes)\n",
-		res.Firings, wal.Records(), logBuf.Len())
+	lsn := backend.LSN()
+	if err := backend.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran to quiescence: %d commits, %d durable records\n", res.Firings, lsn)
 
-	// "Crash": all we keep is the snapshot and the log. Recover.
-	recovered, err := pdps.ReadSnapshot(bytes.NewReader(snapshot.Bytes()))
+	// "Crash": all we keep is the directory. Recover.
+	reopened, err := pdps.OpenFileBackend(dir, pdps.FileBackendOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	applied, err := pdps.ReplayWAL(bytes.NewReader(logBuf.Bytes()), recovered)
+	defer reopened.Close()
+	rec, err := reopened.Recover()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("recovered by replaying %d log records\n", applied)
+	fmt.Printf("recovered %d records (LSN %d)\n", len(rec.Records), rec.LSN)
 
-	same := recovered.Len() == eng.Store().Len()
+	same := rec.Store.Len() == eng.Store().Len()
 	for _, w := range eng.Store().All() {
-		got, ok := recovered.Get(w.ID)
+		got, ok := rec.Store.Get(w.ID)
 		if !ok || !got.EqualContent(w) {
 			same = false
 			break
@@ -99,13 +118,27 @@ func main() {
 		log.Fatal("recovery mismatch")
 	}
 
-	// Resume rule processing on the recovered store: raise the limit
-	// and watch the retired cells stay retired while nothing regrows.
+	// The records also carry the firing history; check it is an
+	// admissible single-thread execution from the seeded base.
+	var commits []pdps.TraceEvent
+	for _, r := range rec.Records {
+		if r.Rule == "" {
+			continue
+		}
+		commits = append(commits, pdps.TraceEvent{Kind: pdps.TraceCommit, Rule: r.Rule, Inst: r.Inst, WMEs: r.WMEs})
+	}
+	if err := pdps.CheckTraceFrom(checkBase, prog.Rules, commits); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered trace of %d firings is admissible\n", len(commits))
+
+	// Resume rule processing on the recovered store: the retired cells
+	// stay retired and nothing regrows, so the system is quiescent.
 	sess, err := pdps.NewSession(pdps.Program{Rules: prog.Rules}, pdps.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sess.LoadSnapshot(serialize(recovered)); err != nil {
+	if err := sess.LoadSnapshot(serialize(rec.Store)); err != nil {
 		log.Fatal(err)
 	}
 	fired, err := sess.Run(100)

@@ -30,7 +30,9 @@ import (
 	"pdps/internal/lock"
 	"pdps/internal/obs"
 	"pdps/internal/sched"
+	"pdps/internal/storage"
 	"pdps/internal/trace"
+	"pdps/internal/wm"
 )
 
 // Config selects the engine variant a deterministic run tests.
@@ -66,6 +68,14 @@ type Config struct {
 	// CommitBatch is the committer's group-commit size
 	// (engine.Options.CommitBatch); 0 means 1.
 	CommitBatch int
+	// Storage is the durable backend commits are appended to
+	// (engine.Options.Storage); nil disables durability. Backend I/O
+	// happens inline on the committer task, so a deterministic schedule
+	// fixes the append and fsync order too.
+	Storage storage.Backend
+	// Restore seeds the engine's working memory from a recovered store
+	// (engine.Options.Restore).
+	Restore *wm.Store
 }
 
 func (c Config) np() int {
@@ -140,18 +150,20 @@ func Run(p engine.Program, cfg Config, policy sched.Policy) RunOutcome {
 	ctl := sched.NewDet(policy)
 	ctl.MaxSteps = cfg.maxDecisions()
 	opts := engine.Options{
-		Matcher:     cfg.Matcher,
-		MatchShards: cfg.MatchShards,
-		Np:          cfg.np(),
-		Deadlock:    cfg.Deadlock,
-		AbortPolicy: cfg.Abort,
-		MaxFirings:  cfg.MaxFirings,
-		CondDelay:   cfg.CondDelay,
-		RuleDelay:   cfg.RuleDelay,
-		Sched:       ctl,
+		Matcher:        cfg.Matcher,
+		MatchShards:    cfg.MatchShards,
+		Np:             cfg.np(),
+		Deadlock:       cfg.Deadlock,
+		AbortPolicy:    cfg.Abort,
+		MaxFirings:     cfg.MaxFirings,
+		CondDelay:      cfg.CondDelay,
+		RuleDelay:      cfg.RuleDelay,
+		Sched:          ctl,
 		HybridElision:  cfg.Elide,
 		LockEscalation: cfg.Escalation,
 		CommitBatch:    cfg.CommitBatch,
+		Storage:        cfg.Storage,
+		Restore:        cfg.Restore,
 	}
 	eng, err := engine.NewParallel(p, cfg.Scheme, opts)
 	if err != nil {

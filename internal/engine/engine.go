@@ -20,6 +20,7 @@ import (
 	"pdps/internal/obs"
 	"pdps/internal/rete"
 	"pdps/internal/sched"
+	"pdps/internal/storage"
 	"pdps/internal/trace"
 	"pdps/internal/treat"
 	"pdps/internal/wm"
@@ -138,18 +139,21 @@ type Options struct {
 	Metrics *obs.Registry
 	// Log receives events; nil means a fresh log.
 	Log *trace.Log
-	// WAL, when non-nil, receives every committed working-memory delta
-	// (write-ahead logging for the paper's knowledge-persistence
-	// motivation; recover with wm.ReadSnapshot + wm.ReplayWAL).
-	WAL *wm.WAL
-}
-
-// logDelta appends a committed delta to the configured WAL, if any.
-func (o *Options) logDelta(d *wm.Delta) error {
-	if o.WAL == nil {
-		return nil
-	}
-	return o.WAL.Append(d)
+	// Storage, when non-nil, is the durability backend: every committed
+	// delta is appended as a storage record (rule, instantiation,
+	// matched-WME fingerprints, delta) and a commit is acknowledged to
+	// its firing only after a Sync covers it. Serial engines sync per
+	// commit; the Parallel committer syncs once per group, amortizing
+	// the fsync across CommitBatch firings exactly like the conflict-set
+	// refresh. The engine does not close the backend — the caller owns
+	// its lifecycle. See internal/storage.
+	Storage storage.Backend
+	// Restore, when non-nil, seeds the engine's working memory with a
+	// recovered store (from Backend.Recover) instead of building a
+	// fresh one; Program.WMEs are still inserted on top, so resuming
+	// callers normally clear them. The engine takes ownership of the
+	// store.
+	Restore *wm.Store
 }
 
 func (o *Options) withDefaults() Options {
@@ -257,8 +261,17 @@ func load(p Program, o Options) (*wm.Store, match.Matcher, error) {
 		}
 	}
 	m := match.Instrument(inner, o.Metrics, o.Clock)
-	store := wm.NewStore()
+	store := o.Restore
+	if store == nil {
+		store = wm.NewStore()
+	}
 	store.SetMetrics(o.Metrics)
+	// A restored store's WMEs enter the match network exactly like
+	// initial working memory, so recovery resumes with the conflict
+	// set the surviving state implies.
+	for _, w := range store.All() {
+		m.Insert(w)
+	}
 	for _, iw := range p.WMEs {
 		m.Insert(store.Insert(iw.Class, iw.Attrs))
 	}

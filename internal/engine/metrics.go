@@ -74,25 +74,25 @@ type engineMetrics struct {
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	return &engineMetrics{
-		reg:          reg,
-		commits:      reg.Counter("engine_commits_total"),
-		aborts:       reg.Counter("engine_aborts_total"),
-		skips:        reg.Counter("engine_skips_total"),
-		cycles:       reg.Counter("engine_cycles_total"),
-		retries:      reg.Counter("engine_retries_total"),
-		commitNS:     reg.Histogram("engine_commit_latency_ns", "ns"),
-		applyNS:      reg.Histogram("engine_commit_apply_ns", "ns"),
+		reg:             reg,
+		commits:         reg.Counter("engine_commits_total"),
+		aborts:          reg.Counter("engine_aborts_total"),
+		skips:           reg.Counter("engine_skips_total"),
+		cycles:          reg.Counter("engine_cycles_total"),
+		retries:         reg.Counter("engine_retries_total"),
+		commitNS:        reg.Histogram("engine_commit_latency_ns", "ns"),
+		applyNS:         reg.Histogram("engine_commit_apply_ns", "ns"),
 		journalBatch:    reg.Histogram("engine_journal_batch_size", "changes"),
 		refreshSnapshot: reg.Counter("engine_refresh_snapshot_total"),
 		refreshDelta:    reg.Counter("engine_refresh_delta_total"),
-		dispatchQ:    reg.Gauge("engine_dispatch_depth"),
-		submitQ:      reg.Gauge("engine_submit_depth"),
+		dispatchQ:       reg.Gauge("engine_dispatch_depth"),
+		submitQ:         reg.Gauge("engine_submit_depth"),
 		elides:          reg.Counter("engine_elide_total"),
 		elideFallback:   reg.Counter("engine_elide_fallback_total"),
 		escalations:     reg.Counter("lock_escalation_total"),
 		escalationSaved: reg.Counter("lock_escalation_saved_locks_total"),
 		commitBatch:     reg.Histogram("commit_batch_size", "firings"),
-		rules:        make(map[string]*ruleSeries),
+		rules:           make(map[string]*ruleSeries),
 	}
 }
 
@@ -100,6 +100,36 @@ func (em *engineMetrics) commitInc() { em.runCommits.Add(1); em.commits.Inc() }
 func (em *engineMetrics) abortInc()  { em.runAborts.Add(1); em.aborts.Inc() }
 func (em *engineMetrics) skipInc()   { em.runSkips.Add(1); em.skips.Inc() }
 func (em *engineMetrics) cycleInc()  { em.runCycles.Add(1); em.cycles.Inc() }
+
+// storageMetrics holds the durability layer's handles. They are
+// registered only when Options.Storage is set — engines without a
+// backend must not grow wal_* series (golden metrics snapshots pin
+// the no-storage registry shape).
+type storageMetrics struct {
+	// appends counts records staged on the backend; fsyncs counts Sync
+	// calls (the group-commit durability points).
+	appends *obs.Counter
+	fsyncs  *obs.Counter
+	// fsyncNS times each Sync; groupSize is the number of appended
+	// records each Sync made durable — the group-commit batch.
+	fsyncNS   *obs.Histogram
+	groupSize *obs.Histogram
+	// checkpoints counts checkpoints the engine triggered;
+	// checkpointNS times snapshot write + log prune.
+	checkpoints  *obs.Counter
+	checkpointNS *obs.Histogram
+}
+
+func newStorageMetrics(reg *obs.Registry) *storageMetrics {
+	return &storageMetrics{
+		appends:      reg.Counter("wal_append_total"),
+		fsyncs:       reg.Counter("wal_fsync_total"),
+		fsyncNS:      reg.Histogram("wal_fsync_ns", "ns"),
+		groupSize:    reg.Histogram("wal_group_size", "records"),
+		checkpoints:  reg.Counter("checkpoint_total"),
+		checkpointNS: reg.Histogram("checkpoint_ns", "ns"),
+	}
+}
 
 // rule returns the per-rule series, creating it on first use. Taken on
 // commit/abort paths only, never inside a firing's lock section.

@@ -61,6 +61,14 @@ type Parallel struct {
 	// when it reaches Options.CommitBatch or its event queue drains.
 	batchCommits int
 
+	// acks holds the reply channels of commits whose records are staged
+	// on the storage backend but not yet fsynced (committer-owned).
+	// syncAcks closes them after the group fsync — a firing learns its
+	// commit succeeded only once the commit is durable. Without a
+	// backend the committer closes replies immediately and this stays
+	// empty.
+	acks []chan struct{}
+
 	// stopping is the workers' fast-path view of rt.stopping().
 	stopping atomic.Bool
 
@@ -265,6 +273,23 @@ func (e *Parallel) Run() (Result, error) {
 		}
 		rt.met.dispatchQ.Set(int64(len(e.pending)))
 
+		// Group commit, durability half: release the staged group only
+		// when the committer is about to block without guaranteed
+		// progress — no event queued and either nothing to dispatch or
+		// no free worker to take it. A worker parked on its ack can
+		// neither take new work nor submit events (and still holds its
+		// locks, so an in-flight firing may be blocked behind it);
+		// inflight+len(acks) == Np means every worker is busy or
+		// parked. While a free worker exists for dispatchable work the
+		// hand-off below must complete, so the group can keep growing —
+		// this is what lets the fsync group approach Np instead of
+		// collapsing to whatever drained between two dispatches. Runs
+		// before the quiescence check: a worker awaiting its ack has
+		// already been counted out of inflight.
+		if len(e.events) == 0 && (next == nil || inflight+len(e.acks) >= rt.opts.Np) {
+			e.syncAcks()
+		}
+
 		if sendCh == nil && inflight == 0 && timers == 0 && (stop || len(e.pending) == 0) {
 			break
 		}
@@ -338,6 +363,12 @@ func (e *Parallel) runDet() (Result, error) {
 			timers += dt
 			continue
 		}
+
+		// Event queue dry: release the fsync group before parking or
+		// breaking, exactly as the free-running loop does — tasks
+		// parked on their acks are not counted in inflight and only
+		// resume once the group is durable.
+		e.syncAcks()
 
 		if inflight == 0 && timers == 0 && (stop || len(e.pending) == 0) {
 			break
@@ -525,10 +556,20 @@ func (e *Parallel) refresh(cs *match.ConflictSet) {
 // through the shared runtime, kill Rc victims, and activate the
 // instantiations the delta enabled. Returns the number of backoff
 // timers armed.
+//
+// The reply channel is closed immediately on every outcome except a
+// successful commit with a storage backend: there the ack is deferred
+// into e.acks and released by syncAcks only after the group fsync, so
+// a firing never observes success before its commit is durable.
 func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 	rt := e.rt
 	key := ev.in.Key()
-	defer close(ev.reply)
+	acked := false
+	defer func() {
+		if !acked {
+			close(ev.reply)
+		}
+	}()
 
 	switch {
 	case !ev.elided && e.lm.Aborted(ev.txn):
@@ -589,12 +630,30 @@ func (e *Parallel) resolveCommit(ev pevent) (timers int) {
 		}
 		// Group commit: defer the conflict-set refresh until the batch
 		// fills; the run loop flushes early whenever its queue drains.
+		// The durability ack defers the same way — syncAcks fsyncs the
+		// group and releases every waiting firing at once.
+		if rt.opts.Storage != nil {
+			e.acks = append(e.acks, ev.reply)
+			acked = true
+		}
 		e.batchCommits++
 		if e.batchCommits >= rt.opts.CommitBatch {
+			e.syncAcks()
 			e.flushRefresh()
 		}
 	}
 	return timers
+}
+
+// syncAcks fsyncs the staged commit group and releases the firings
+// waiting on it. Without a backend (or with nothing staged) it only
+// closes stray acks, which cannot exist then — a no-op.
+func (e *Parallel) syncAcks() {
+	e.rt.syncStorage()
+	for _, ch := range e.acks {
+		close(ch)
+	}
+	e.acks = e.acks[:0]
 }
 
 // flushRefresh applies the deferred post-commit refresh: one

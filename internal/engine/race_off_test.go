@@ -1,0 +1,10 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector built this test
+// binary. The kill-and-recover harness spawns SIGKILLed child
+// processes, which is wasted work under -race (the children die before
+// any race could be reported), so it runs only in non-race builds —
+// CI gives it a dedicated job step.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector built this test
+// binary; see race_off_test.go.
+const raceEnabled = true

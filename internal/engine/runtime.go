@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pdps/internal/match"
+	"pdps/internal/storage"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
 )
@@ -28,6 +29,12 @@ type runtime struct {
 	// (commits/aborts/skips/cycles) are its atomic series, so a
 	// Snapshot taken while workers run reads consistent values.
 	met *engineMetrics
+	// smet holds the durability handles; nil unless Options.Storage is
+	// set, so storage-free engines keep their registry shape.
+	smet *storageMetrics
+	// pendingAppends counts records appended since the last storage
+	// sync — the size of the group the next fsync makes durable.
+	pendingAppends int
 
 	halted bool
 	limit  bool
@@ -41,8 +48,12 @@ func newRuntime(p Program, opts Options) (*runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runtime{opts: o, store: store, matcher: m, fired: make(map[string]bool),
-		met: newEngineMetrics(o.Metrics)}, nil
+	rt := &runtime{opts: o, store: store, matcher: m, fired: make(map[string]bool),
+		met: newEngineMetrics(o.Metrics)}
+	if o.Storage != nil {
+		rt.smet = newStorageMetrics(o.Metrics)
+	}
+	return rt, nil
 }
 
 // firings returns the committed-production count.
@@ -77,10 +88,14 @@ func (rt *runtime) fail(err error) {
 }
 
 // commit finishes one executed firing: optional semantic verification,
-// atomic application of the staged delta, WAL append, incremental
+// atomic application of the staged delta, storage append, incremental
 // re-match, refraction bookkeeping, and the commit (and, on halt, the
 // halt) trace events. A verify failure leaves the transaction unstaged
 // so the caller can abort it; any other error has consumed it.
+//
+// The storage append only stages the record — it becomes durable at
+// the next syncStorage, which is where a parallel committer closes
+// the firing's reply channel (group commit: ack after fsync).
 func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt bool) error {
 	key := in.Key()
 	if rt.opts.Verify && !verifyActive(rt.store, in) {
@@ -91,8 +106,16 @@ func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt b
 	if err != nil {
 		return err
 	}
-	if err := rt.opts.logDelta(delta); err != nil {
-		rt.fail(err)
+	fps := fingerprints(in)
+	if rt.opts.Storage != nil {
+		if _, err := rt.opts.Storage.Append(&storage.Record{
+			Rule: in.Rule.Name, Inst: key, WMEs: fps, Delta: delta,
+		}); err != nil {
+			rt.fail(err)
+		} else {
+			rt.smet.appends.Inc()
+			rt.pendingAppends++
+		}
 	}
 	for _, w := range delta.Removes {
 		rt.matcher.Remove(w)
@@ -105,12 +128,64 @@ func (rt *runtime) commit(in *match.Instantiation, tx *wm.Txn, txn int64, halt b
 	rt.met.rule(in.Rule.Name).commits.Inc()
 	rt.met.applyNS.ObserveDuration(rt.opts.Clock.Now().Sub(applyStart))
 	rt.opts.Log.Append(trace.Event{Kind: trace.KindCommit, Rule: in.Rule.Name,
-		Inst: key, Txn: txn, WMEs: fingerprints(in)})
+		Inst: key, Txn: txn, WMEs: fps})
 	if halt {
 		rt.halted = true
 		rt.opts.Log.Append(trace.Event{Kind: trace.KindHalt, Rule: in.Rule.Name, Inst: key, Txn: txn})
 	}
 	return nil
+}
+
+// syncStorage makes every staged record durable (one fsync covering
+// the whole group) and then gives the backend a chance to checkpoint.
+// No-op without a backend or staged records.
+func (rt *runtime) syncStorage() {
+	if rt.opts.Storage == nil || rt.pendingAppends == 0 {
+		return
+	}
+	start := rt.opts.Clock.Now()
+	err := rt.opts.Storage.Sync()
+	rt.smet.fsyncNS.ObserveDuration(rt.opts.Clock.Now().Sub(start))
+	rt.smet.fsyncs.Inc()
+	rt.smet.groupSize.Observe(int64(rt.pendingAppends))
+	rt.pendingAppends = 0
+	if err != nil {
+		rt.fail(err)
+		return
+	}
+	rt.maybeCheckpoint()
+}
+
+// maybeCheckpoint triggers a size-based checkpoint on backends that
+// support it. BeginCheckpoint seals the log boundary synchronously on
+// this goroutine (the committer), and the snapshot is written from a
+// clone of the store — in the background when free-running, inline
+// under a deterministic scheduler so the controlled run stays a pure
+// function of the policy. A background failure is sticky in the
+// backend and surfaces from the next Sync or Close.
+func (rt *runtime) maybeCheckpoint() {
+	cp, ok := rt.opts.Storage.(storage.AutoCheckpointer)
+	if !ok || !cp.CheckpointDue() {
+		return
+	}
+	complete, err := cp.BeginCheckpoint()
+	if err != nil {
+		rt.fail(err)
+		return
+	}
+	rt.smet.checkpoints.Inc()
+	clone := rt.store.Clone()
+	start := rt.opts.Clock.Now()
+	run := func() {
+		if complete(clone) == nil {
+			rt.smet.checkpointNS.ObserveDuration(rt.opts.Clock.Now().Sub(start))
+		}
+	}
+	if rt.opts.Sched != nil {
+		run()
+		return
+	}
+	go run()
 }
 
 // result assembles the run summary from the metric counters.

@@ -74,6 +74,7 @@ func (s *Session) Step() (string, error) {
 	if err := s.rt.commit(in, tx, 0, halt); err != nil {
 		return "", err
 	}
+	s.rt.syncStorage()
 	return in.Rule.Name, s.rt.err
 }
 

@@ -66,6 +66,8 @@ func (e *Single) Run() (Result, error) {
 		if err := rt.commit(in, tx, 0, halt); err != nil {
 			return rt.result(), err
 		}
+		// Serial recognize-act: every commit is its own fsync group.
+		rt.syncStorage()
 		if rt.halted || rt.err != nil {
 			return rt.result(), rt.err
 		}

@@ -100,12 +100,15 @@ func (e *Static) Run() (Result, error) {
 		}
 
 		// Commit sequentially in batch order: by Theorem 1 this is
-		// equivalent to any other serial order of the batch.
+		// equivalent to any other serial order of the batch. The batch
+		// is also the fsync group — one sync makes it durable.
 		for i, in := range batch {
 			if err := rt.commit(in, txs[i], 0, halts[i]); err != nil {
+				rt.syncStorage()
 				return rt.result(), err
 			}
 		}
+		rt.syncStorage()
 		if rt.halted || rt.err != nil {
 			return rt.result(), rt.err
 		}

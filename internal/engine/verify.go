@@ -22,8 +22,23 @@ func CheckTrace(p Program, commits []trace.Event) error {
 	for _, iw := range p.WMEs {
 		store.Insert(iw.Class, iw.Attrs)
 	}
-	rules := make(map[string]*match.Rule, len(p.Rules))
-	for _, r := range p.Rules {
+	return checkTraceOn(store, p.Rules, commits)
+}
+
+// CheckTraceFrom is CheckTrace starting from an arbitrary working
+// memory instead of the program's initial WMEs — the form crash
+// recovery needs: a post-checkpoint trace tail is admissible iff it
+// is a valid single-thread execution from the snapshot's state. The
+// base store is not mutated (the checker replays a clone).
+func CheckTraceFrom(base *wm.Store, rules []*match.Rule, commits []trace.Event) error {
+	return checkTraceOn(base.Clone(), rules, commits)
+}
+
+// checkTraceOn validates the rules and replays the commit sequence
+// against the given store, which it mutates.
+func checkTraceOn(store *wm.Store, ruleList []*match.Rule, commits []trace.Event) error {
+	rules := make(map[string]*match.Rule, len(ruleList))
+	for _, r := range ruleList {
 		if err := r.Validate(); err != nil {
 			return err
 		}

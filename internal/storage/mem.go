@@ -1,0 +1,80 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pdps/internal/wm"
+)
+
+// Mem is the in-memory backend: records accumulate in a slice, Sync is
+// a no-op, and nothing survives the process. It exists for tests and
+// as the zero-durability baseline a file backend is measured against —
+// an engine with a Mem backend should run within noise of one with no
+// storage at all. Unlike File, Recover folds the backend's current
+// contents (there is no process boundary to recover across).
+type Mem struct {
+	mu      sync.Mutex
+	base    *wm.Store // last checkpoint
+	records []*Record // appended since base
+	lsn     uint64
+	snapLSN uint64
+	closed  bool
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{base: wm.NewStore()}
+}
+
+// Append stages the record.
+func (m *Mem) Append(r *Record) (LSN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, errors.New("storage: append on closed backend")
+	}
+	m.records = append(m.records, r)
+	m.lsn++
+	return LSN(m.lsn), nil
+}
+
+// Sync is a no-op: memory is as durable as it gets.
+func (m *Mem) Sync() error { return nil }
+
+// Checkpoint folds the store into the base and drops the record tail.
+func (m *Mem) Checkpoint(s *wm.Store) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.base = s.Clone()
+	m.records = nil
+	m.snapLSN = m.lsn
+	return nil
+}
+
+// Recover replays the record tail over the last checkpoint.
+func (m *Mem) Recover() (*Recovery, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.base.Clone()
+	for i, r := range m.records {
+		if err := s.ApplyLogged(r.Delta); err != nil {
+			return nil, fmt.Errorf("storage: mem replay record %d: %w", i, err)
+		}
+	}
+	return &Recovery{
+		Store:       s,
+		LSN:         LSN(m.lsn),
+		SnapshotLSN: LSN(m.snapLSN),
+		Records:     append([]*Record(nil), m.records...),
+	}, nil
+}
+
+// Close marks the backend unusable.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

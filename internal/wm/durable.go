@@ -96,6 +96,12 @@ func (d *Durable) Checkpoint() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("wm: checkpoint: %w", err)
 	}
+	// The rename is only durable once the directory entry is; without
+	// this fsync a crash can lose the new snapshot after the old log
+	// was already truncated.
+	if err := SyncDir(d.dir); err != nil {
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
 
 	if d.walFile != nil {
 		d.walFile.Close()
@@ -109,8 +115,31 @@ func (d *Durable) Checkpoint() error {
 		f.Close()
 		return fmt.Errorf("wm: checkpoint: %w", err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
+	if err := SyncDir(d.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wm: checkpoint: %w", err)
+	}
 	d.walFile = f
 	d.wal = w
+	return nil
+}
+
+// SyncDir fsyncs a directory so renames and file creations within it
+// are durable. On filesystems that refuse fsync on directories the
+// error is ignored (there is nothing more the caller can do).
+func SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
 	return nil
 }
 

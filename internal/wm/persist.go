@@ -81,8 +81,9 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 type WAL struct {
 	mu  sync.Mutex
 	w   io.Writer
-	buf []byte
-	n   int // records appended
+	buf []byte // body scratch
+	out []byte // framed-record scratch (one Write per record)
+	n   int    // records appended
 }
 
 // NewWAL starts a log on the writer, emitting the header.
@@ -98,103 +99,101 @@ func NewWAL(w io.Writer) (*WAL, error) {
 func (l *WAL) Append(d *Delta) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.buf = l.buf[:0]
-	l.buf = appendU64(l.buf, uint64(len(d.Removes)))
-	for _, w := range d.Removes {
-		l.buf = appendU64(l.buf, uint64(w.ID))
-		l.buf = appendU64(l.buf, w.TimeTag)
-	}
-	l.buf = appendU64(l.buf, uint64(len(d.Adds)))
-	for _, w := range d.Adds {
-		l.buf = appendWME(l.buf, w)
-	}
-	var frame [12]byte
-	binary.BigEndian.PutUint64(frame[:8], uint64(len(l.buf)))
-	binary.BigEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(l.buf))
-	if _, err := l.w.Write(frame[:]); err != nil {
-		return err
-	}
-	if _, err := l.w.Write(l.buf); err != nil {
+	body := EncodeDelta(l.buf[:0], d)
+	l.out = AppendFrame(l.out[:0], body)
+	l.buf = body[:0]
+	if _, err := l.w.Write(l.out); err != nil {
 		return err
 	}
 	l.n++
 	return nil
 }
 
-// Records returns how many records have been appended.
-func (l *WAL) Records() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.n
+// EncodeDelta appends the log encoding of a commit delta to b: removes
+// as (id, timetag) pairs, adds as full WMEs.
+func EncodeDelta(b []byte, d *Delta) []byte {
+	b = appendU64(b, uint64(len(d.Removes)))
+	for _, w := range d.Removes {
+		b = appendU64(b, uint64(w.ID))
+		b = appendU64(b, w.TimeTag)
+	}
+	b = appendU64(b, uint64(len(d.Adds)))
+	for _, w := range d.Adds {
+		b = appendWME(b, w)
+	}
+	return b
 }
 
-// ReplayWAL applies the log's deltas to the store in order and returns
-// the number of complete records applied. A truncated or corrupt tail
-// ends replay without error (standard recovery semantics); corruption
-// before the tail is reported.
-func ReplayWAL(r io.Reader, s *Store) (int, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(walMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return 0, fmt.Errorf("wm: wal header: %w", err)
-	}
-	if string(magic) != walMagic {
-		return 0, fmt.Errorf("wm: bad wal magic %q", magic)
-	}
-	applied := 0
-	for {
-		var frame [12]byte
-		if _, err := io.ReadFull(br, frame[:]); err != nil {
-			return applied, nil // clean or torn end
-		}
-		length := binary.BigEndian.Uint64(frame[:8])
-		sum := binary.BigEndian.Uint32(frame[8:])
-		if length > 1<<30 {
-			return applied, fmt.Errorf("wm: wal record %d: absurd length %d", applied, length)
-		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(br, body); err != nil {
-			return applied, nil // torn tail
-		}
-		if crc32.ChecksumIEEE(body) != sum {
-			return applied, fmt.Errorf("wm: wal record %d: checksum mismatch", applied)
-		}
-		if err := s.applyWALRecord(body); err != nil {
-			return applied, fmt.Errorf("wm: wal record %d: %w", applied, err)
-		}
-		applied++
-	}
-}
-
-// applyWALRecord re-applies a logged delta exactly (preserving IDs and
-// time tags rather than re-assigning them). Recovery is sequential, so
-// the high-water counter updates need no compare-and-swap loop.
-func (s *Store) applyWALRecord(body []byte) error {
+// DecodeDelta parses an EncodeDelta body. Removed WMEs come back as
+// stubs carrying only ID and TimeTag (the log does not keep their
+// content); adds are complete. The whole body must be consumed.
+func DecodeDelta(body []byte) (*Delta, error) {
 	p := &byteReader{b: body}
+	d, err := decodeDelta(p)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(body) {
+		return nil, fmt.Errorf("wm: delta record: %d trailing bytes", len(body)-p.pos)
+	}
+	return d, nil
+}
+
+// decodeDelta parses a delta at the reader's position, leaving any
+// following bytes (used when a delta is embedded in a larger record).
+func decodeDelta(p *byteReader) (*Delta, error) {
+	d := &Delta{}
 	nRem, err := p.u64()
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if nRem > 1<<24 {
+		return nil, fmt.Errorf("wm: absurd remove count %d", nRem)
 	}
 	for i := uint64(0); i < nRem; i++ {
 		id, err := p.u64()
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if _, err := p.u64(); err != nil { // timetag, informational
-			return err
+		tag, err := p.u64()
+		if err != nil {
+			return nil, err
 		}
-		if _, ok := s.Remove(int64(id)); !ok {
-			return fmt.Errorf("remove of absent WME %d", id)
-		}
+		d.Removes = append(d.Removes, &WME{ID: int64(id), TimeTag: tag})
 	}
 	nAdd, err := p.u64()
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if nAdd > 1<<24 {
+		return nil, fmt.Errorf("wm: absurd add count %d", nAdd)
 	}
 	for i := uint64(0); i < nAdd; i++ {
 		w, err := p.wme()
 		if err != nil {
-			return err
+			return nil, err
+		}
+		d.Adds = append(d.Adds, w)
+	}
+	return d, nil
+}
+
+// ApplyLogged re-applies a decoded delta exactly, preserving IDs and
+// time tags rather than re-assigning them. Recovery is sequential, so
+// the high-water counter updates need no compare-and-swap loop. The
+// delta must match the store state it was logged against: a remove of
+// an absent WME or an add of an already-present ID is an error, and
+// the store is left partially updated (callers treat this as fatal
+// mid-log corruption, not a recoverable tail).
+func (s *Store) ApplyLogged(d *Delta) error {
+	for _, w := range d.Removes {
+		if _, ok := s.Remove(w.ID); !ok {
+			return fmt.Errorf("remove of absent WME %d", w.ID)
+		}
+	}
+	for _, w := range d.Adds {
+		if _, dup := s.Get(w.ID); dup {
+			return fmt.Errorf("add of duplicate WME %d", w.ID)
 		}
 		s.add(w)
 		if w.ID > s.nextID.Load() {
@@ -206,6 +205,160 @@ func (s *Store) applyWALRecord(body []byte) error {
 	}
 	return nil
 }
+
+// Records returns how many records have been appended.
+func (l *WAL) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// ReplayWAL applies the log's deltas to the store in order and returns
+// the number of complete records applied. Recovery distinguishes a
+// torn tail (the bytes a crash mid-append leaves behind: a truncated
+// frame or body, or a zero-filled/checksum-failed final record with
+// nothing but zero bytes after it) from mid-log corruption: the tail
+// is dropped silently — standard recovery semantics — while
+// corruption followed by further data is reported as an error. Each
+// record is fully decoded before it is applied, so a torn tail never
+// leaves the store partially updated.
+func ReplayWAL(r io.Reader, s *Store) (int, error) {
+	fs, err := NewFrameScanner(r, walMagic)
+	if err != nil {
+		return 0, fmt.Errorf("wm: wal header: %w", err)
+	}
+	applied := 0
+	for {
+		body, err := fs.Next()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, fmt.Errorf("wm: wal record %d: %w", applied, err)
+		}
+		d, derr := DecodeDelta(body)
+		if derr != nil {
+			if rerr := fs.Reject(derr); rerr == io.EOF {
+				return applied, nil // undecodable torn tail
+			}
+			return applied, fmt.Errorf("wm: wal record %d: %w", applied, derr)
+		}
+		if aerr := s.ApplyLogged(d); aerr != nil {
+			return applied, fmt.Errorf("wm: wal record %d: %w", applied, aerr)
+		}
+		applied++
+	}
+}
+
+// --- framed record streams ---
+
+// maxRecordBytes bounds a single framed record; larger length fields
+// are treated as corruption (or a torn frame, if at the tail).
+const maxRecordBytes = 1 << 30
+
+// AppendFrame appends one framed record to dst: an 8-byte big-endian
+// body length, a CRC32 (IEEE) of the body, then the body itself. This
+// is the frame layout shared by the WAL and the storage backends'
+// segment files.
+func AppendFrame(dst, body []byte) []byte {
+	var frame [12]byte
+	binary.BigEndian.PutUint64(frame[:8], uint64(len(body)))
+	binary.BigEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(body))
+	dst = append(dst, frame[:]...)
+	return append(dst, body...)
+}
+
+// FrameScanner reads a stream of AppendFrame records, implementing the
+// recovery policy for crash-truncated logs: a record that cannot be
+// read in full, or that fails its checksum with nothing but zero
+// bytes after it, is a torn tail and ends the scan with io.EOF; a bad
+// record with real data after it is corruption and errors. ValidBytes
+// reports the length of the validated prefix so callers can truncate
+// the file there.
+type FrameScanner struct {
+	br      *bufio.Reader
+	valid   int64 // bytes of validated prefix, including header
+	lastLen int64 // framed size of the record Next most recently accepted
+	records int
+}
+
+// NewFrameScanner checks the stream's magic header and returns a
+// scanner positioned at the first record.
+func NewFrameScanner(r io.Reader, magic string) (*FrameScanner, error) {
+	br := bufio.NewReader(r)
+	m := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, m); err != nil {
+		return nil, err
+	}
+	if string(m) != magic {
+		return nil, fmt.Errorf("bad magic %q", m)
+	}
+	return &FrameScanner{br: br, valid: int64(len(magic))}, nil
+}
+
+// Next returns the next complete, checksum-valid record body. It
+// returns io.EOF at a clean end of log or at a torn tail, and an
+// error for mid-log corruption.
+func (fs *FrameScanner) Next() ([]byte, error) {
+	var frame [12]byte
+	if _, err := io.ReadFull(fs.br, frame[:]); err != nil {
+		return nil, io.EOF // clean end or torn frame
+	}
+	length := binary.BigEndian.Uint64(frame[:8])
+	sum := binary.BigEndian.Uint32(frame[8:])
+	if length > maxRecordBytes {
+		return nil, fs.tailOr(fmt.Errorf("absurd length %d", length))
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(fs.br, body); err != nil {
+		return nil, io.EOF // torn body
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fs.tailOr(fmt.Errorf("checksum mismatch"))
+	}
+	fs.lastLen = 12 + int64(length)
+	fs.valid += fs.lastLen
+	fs.records++
+	return body, nil
+}
+
+// Reject reports that the body Next most recently returned failed to
+// decode despite a valid checksum (a zero-filled tail checksums
+// cleanly: CRC32 of an empty body is zero). It applies the same
+// tail-versus-corruption policy as Next — io.EOF if the bad record is
+// the tail, an error wrapping cause otherwise — and unwinds the
+// record from the validated prefix.
+func (fs *FrameScanner) Reject(cause error) error {
+	fs.valid -= fs.lastLen
+	fs.records--
+	fs.lastLen = 0
+	return fs.tailOr(cause)
+}
+
+// tailOr decides whether a bad record is a torn tail: if the rest of
+// the stream is empty or all zero bytes (a crash mid-append can leave
+// a zero-filled block), the scan ends with io.EOF; any real data
+// after the bad record means mid-log corruption and cause is
+// returned.
+func (fs *FrameScanner) tailOr(cause error) error {
+	for {
+		b, err := fs.br.ReadByte()
+		if err != nil {
+			return io.EOF
+		}
+		if b != 0 {
+			return fmt.Errorf("%w (followed by further data)", cause)
+		}
+	}
+}
+
+// ValidBytes returns the length in bytes of the validated log prefix
+// (header plus every record accepted so far). After a scan ends with
+// io.EOF, truncating the file to this offset removes the torn tail.
+func (fs *FrameScanner) ValidBytes() int64 { return fs.valid }
+
+// Records returns how many records have been accepted so far.
+func (fs *FrameScanner) Records() int { return fs.records }
 
 // --- encoding helpers ---
 
@@ -422,4 +575,3 @@ func readValue(br *bufio.Reader) (Value, error) {
 	}
 	return Value{}, fmt.Errorf("wm: unknown value kind %d", kind)
 }
-

@@ -50,6 +50,7 @@ import (
 	"pdps/internal/rete"
 	"pdps/internal/sched"
 	"pdps/internal/sim"
+	"pdps/internal/storage"
 	"pdps/internal/trace"
 	"pdps/internal/wm"
 	"pdps/internal/workload"
@@ -84,6 +85,40 @@ var (
 
 // Durable is a file-backed working memory (snapshot + log directory).
 type Durable = wm.Durable
+
+// Pluggable storage layer (Options.Storage): engines append one record
+// per committed firing and group-commit fsync them; a backend recovers
+// the working memory and the commit history after a crash.
+type (
+	// StorageBackend is the pluggable durability interface engines
+	// drive (set it as Options.Storage).
+	StorageBackend = storage.Backend
+	// StorageRecord is one durable unit: the committed delta plus the
+	// firing that produced it (empty rule name for non-firing deltas
+	// such as the initial working memory).
+	StorageRecord = storage.Record
+	// StorageRecovery is the result of StorageBackend.Recover: the
+	// reconstructed store, the durable LSN, and the commit records.
+	StorageRecovery = storage.Recovery
+	// LSN is a backend's log sequence number (1-based, dense).
+	LSN = storage.LSN
+	// MemBackend is the in-memory no-op-durability backend.
+	MemBackend = storage.Mem
+	// FileBackend is the segmented log-structured file backend with
+	// snapshot checkpoints and log truncation.
+	FileBackend = storage.File
+	// FileBackendOptions tunes segment size and the auto-checkpoint
+	// threshold of a FileBackend.
+	FileBackendOptions = storage.FileOptions
+)
+
+var (
+	// NewMemBackend returns an empty in-memory storage backend.
+	NewMemBackend = storage.NewMem
+	// OpenFileBackend opens or initialises a file-backend directory,
+	// recovering from its newest snapshot plus the surviving log.
+	OpenFileBackend = storage.OpenFile
+)
 
 // Value constructors.
 var (
@@ -170,6 +205,22 @@ type (
 	TraceLog = trace.Log
 	// TraceEvent is one logged event.
 	TraceEvent = trace.Event
+	// TraceKind discriminates trace event types.
+	TraceKind = trace.Kind
+)
+
+// Trace event kinds.
+const (
+	// TraceFire records the start of a production's execution.
+	TraceFire = trace.KindFire
+	// TraceCommit records a successful commit.
+	TraceCommit = trace.KindCommit
+	// TraceAbort records an aborted firing.
+	TraceAbort = trace.KindAbort
+	// TraceSkip records an instantiation invalidated before execution.
+	TraceSkip = trace.KindSkip
+	// TraceHalt records a halt action.
+	TraceHalt = trace.KindHalt
 )
 
 // Locking schemes of the dynamic engine.
@@ -400,6 +451,11 @@ var Format = lang.Format
 // CheckTrace verifies a commit sequence against the single-thread
 // execution semantics (Definition 3.2).
 var CheckTrace = engine.CheckTrace
+
+// CheckTraceFrom is CheckTrace starting from an arbitrary working
+// memory — the form crash recovery needs to validate a post-checkpoint
+// trace tail.
+var CheckTraceFrom = engine.CheckTraceFrom
 
 // Interferes reports the static interference relation between rules
 // (read-write or write-write overlap, Section 4.1).
