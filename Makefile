@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet metrics-check bench bench-smoke bench-compare
+.PHONY: all build test race vet metrics-check serve-smoke bench bench-smoke bench-compare
 
 all: build vet test
 
@@ -27,6 +27,15 @@ metrics-check:
 	$(GO) test -run 'TestMetricsDeterministic|TestMetricsConflictCounters' ./internal/detsched
 	$(GO) test -race -run 'TestSnapshotDuringParallelRun|TestSerialEngineMetrics' ./internal/engine
 	$(GO) test -race ./internal/obs
+
+# serve-smoke drives the multi-tenant rule service end to end over
+# loopback sockets: 32 tenant sessions, 10k events, every streamed
+# commit trace re-checked against the single-thread semantics. This is
+# the CI smoke step for cmd/psserver (docs/SERVER.md).
+serve-smoke:
+	$(GO) build ./cmd/psserver ./cmd/psload
+	$(GO) run ./cmd/psload -loopback -sessions 32 -events 10000 -check \
+		-metrics-out metrics-artifacts/psload-metrics.json
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -1,0 +1,269 @@
+// Command psload drives the multi-tenant rule service with a
+// configurable fleet of tenants and reports throughput, client-side
+// latency and the server's metrics snapshot. It either targets a
+// running psserver (-addr) or, with -loopback, boots an in-process
+// server on 127.0.0.1:0 so a single command exercises the full wire
+// path — that mode is the CI smoke test.
+//
+// Each tenant creates its own session with an absorb/clear program,
+// streams events in batches, runs the engine to quiescence, drains
+// the streamed commit trace and (with -check) verifies it is an
+// admissible single-thread execution before closing.
+//
+// Usage:
+//
+//	psload -loopback -sessions 32 -events 10000 -check \
+//	       -metrics-out metrics.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"pdps/internal/engine"
+	"pdps/internal/lang"
+	"pdps/internal/obs"
+	"pdps/internal/sched"
+	"pdps/internal/server"
+	"pdps/internal/wm"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7007", "server address (ignored with -loopback)")
+		loopback   = flag.Bool("loopback", false, "boot an in-process server on 127.0.0.1:0 and drive it")
+		sessions   = flag.Int("sessions", 8, "number of tenant sessions")
+		events     = flag.Int("events", 4096, "total events across all sessions")
+		batch      = flag.Int("batch", 8, "events per assert batch")
+		runEvery   = flag.Int("run-every", 1, "run to quiescence every N batches")
+		conns      = flag.Int("conns", 4, "client connections shared by the tenants")
+		check      = flag.Bool("check", false, "verify each streamed commit trace is admissible (Definition 3.2)")
+		metricsOut = flag.String("metrics-out", "", "write the server metrics snapshot to this file as JSON (loopback only)")
+	)
+	flag.Parse()
+	if *sessions < 1 || *batch < 1 || *runEvery < 1 || *conns < 1 {
+		log.Fatal("psload: -sessions, -batch, -run-every and -conns must be positive")
+	}
+
+	target := *addr
+	var srv *server.Server
+	if *loopback {
+		srv = server.New(server.Config{
+			MaxSessions: *sessions + 8,
+			Clock:       sched.Immediate{},
+		})
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			log.Fatal(err)
+		}
+		target = srv.Addr().String()
+		fmt.Printf("psload: loopback server on %s\n", target)
+	}
+
+	clients := make([]*server.Client, *conns)
+	for i := range clients {
+		c, err := server.Dial(target)
+		if err != nil {
+			log.Fatalf("psload: dial %s: %v", target, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	reg := obs.NewRegistry()
+	assertLat := reg.Histogram("client_assert_latency", "ns")
+	runLat := reg.Histogram("client_run_latency", "ns")
+
+	perSession := *events / *sessions
+	if perSession < 1 {
+		perSession = 1
+	}
+	fmt.Printf("psload: %d sessions x %d events (batch %d, run every %d, %d conns, check=%v)\n",
+		*sessions, perSession, *batch, *runEvery, *conns, *check)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firings  int
+		ingested int
+		failures []error
+	)
+	start := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fired, sent, err := driveTenant(clients[i%*conns], fmt.Sprintf("t%04d", i),
+				perSession, *batch, *runEvery, *check, assertLat, runLat)
+			mu.Lock()
+			defer mu.Unlock()
+			firings += fired
+			ingested += sent
+			if err != nil {
+				failures = append(failures, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, err := range failures {
+		fmt.Fprintf(os.Stderr, "psload: %v\n", err)
+	}
+
+	fmt.Printf("psload: %d events ingested, %d rule firings in %v\n", ingested, firings, elapsed.Round(time.Millisecond))
+	secs := elapsed.Seconds()
+	if secs > 0 {
+		fmt.Printf("psload: throughput %.0f events/s, %.0f firings/s\n",
+			float64(ingested)/secs, float64(firings)/secs)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{"client_assert_latency", "client_run_latency"} {
+		if p, ok := snap.Histogram(name); ok && p.Count > 0 {
+			fmt.Printf("psload: %s p50=%v p99=%v max=%v (n=%d)\n", name,
+				time.Duration(p.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(p.Quantile(0.99)).Round(time.Microsecond),
+				time.Duration(p.Max).Round(time.Microsecond), p.Count)
+		}
+	}
+
+	if srv != nil {
+		ssnap := srv.Metrics().Snapshot()
+		fmt.Println("psload: server metrics:")
+		ssnap.WriteText(os.Stdout)
+		if *metricsOut != "" {
+			b, err := ssnap.MarshalIndent()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if dir := filepath.Dir(*metricsOut); dir != "." {
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(*metricsOut, b, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("psload: server metrics written to %s\n", *metricsOut)
+		}
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(failures) > 0 {
+		log.Fatalf("psload: %d tenants failed", len(failures))
+	}
+}
+
+// tenantProgram mirrors the integration suite's workload: each event
+// is absorbed into a done marker that a second rule clears, so every
+// event yields two commits and working memory drains to empty.
+func tenantProgram(tenant string) string {
+	return fmt.Sprintf(`
+(p absorb (event ^tenant %s ^seq <s>) --> (remove 1) (make done ^tenant %s ^seq <s>))
+(p clear  (done  ^tenant %s ^seq <s>) --> (remove 1))`, tenant, tenant, tenant)
+}
+
+// driveTenant runs one tenant's full lifecycle against the server and
+// returns its firing and ingest counts.
+func driveTenant(c *server.Client, tenant string, total, batch, runEvery int, check bool,
+	assertLat, runLat *obs.Histogram) (fired, sent int, err error) {
+	program := tenantProgram(tenant)
+	id, _, _, err := c.Create(program, server.SessionOptions{})
+	if err != nil {
+		return 0, 0, fmt.Errorf("tenant %s create: %w", tenant, err)
+	}
+	var events []server.TraceEvent
+	var ingested []string
+	pendingRuns := 0
+	runToQuiescence := func() error {
+		t0 := time.Now()
+		res, err := c.Run(id, 0)
+		runLat.ObserveDuration(time.Since(t0))
+		if err != nil {
+			return fmt.Errorf("tenant %s run: %w", tenant, err)
+		}
+		if !res.Quiescent {
+			return fmt.Errorf("tenant %s: not quiescent after %d firings", tenant, res.Fired)
+		}
+		fired += res.Fired
+		events = append(events, res.Events...)
+		pendingRuns = 0
+		return nil
+	}
+	for seq := 0; seq < total; {
+		tuples := make([]string, 0, batch)
+		for k := 0; k < batch && seq < total; k++ {
+			tuples = append(tuples, fmt.Sprintf("(event ^tenant %s ^seq %d)", tenant, seq))
+			seq++
+		}
+		t0 := time.Now()
+		_, err := c.Assert(id, tuples...)
+		assertLat.ObserveDuration(time.Since(t0))
+		if err != nil {
+			if server.IsOverloaded(err) {
+				// Shed under backpressure: drain the queue with a run and
+				// retry the batch.
+				if err := runToQuiescence(); err != nil {
+					return fired, sent, err
+				}
+				seq -= len(tuples)
+				continue
+			}
+			return fired, sent, fmt.Errorf("tenant %s assert: %w", tenant, err)
+		}
+		sent += len(tuples)
+		ingested = append(ingested, tuples...)
+		if pendingRuns++; pendingRuns >= runEvery {
+			if err := runToQuiescence(); err != nil {
+				return fired, sent, err
+			}
+		}
+	}
+	if pendingRuns > 0 {
+		if err := runToQuiescence(); err != nil {
+			return fired, sent, err
+		}
+	}
+	tail, err := c.Trace(id)
+	if err != nil {
+		return fired, sent, fmt.Errorf("tenant %s trace: %w", tenant, err)
+	}
+	events = append(events, tail...)
+	if check {
+		if err := checkAdmissible(program, ingested, events); err != nil {
+			return fired, sent, fmt.Errorf("tenant %s: streamed trace not admissible: %w", tenant, err)
+		}
+	}
+	if err := c.CloseSession(id); err != nil {
+		return fired, sent, fmt.Errorf("tenant %s close: %w", tenant, err)
+	}
+	return fired, sent, nil
+}
+
+// checkAdmissible replays the streamed commit subsequence against the
+// single-thread semantics: base working memory is everything the
+// tenant ingested, and the commits must form a valid single-thread
+// execution from it (Definition 3.2).
+func checkAdmissible(program string, ingested []string, events []server.TraceEvent) error {
+	prog, err := lang.Parse(program)
+	if err != nil {
+		return err
+	}
+	base := wm.NewStore()
+	for _, iw := range prog.WMEs {
+		base.Insert(iw.Class, iw.Attrs)
+	}
+	for _, src := range ingested {
+		iw, err := lang.ParseWME(src)
+		if err != nil {
+			return err
+		}
+		base.Insert(iw.Class, iw.Attrs)
+	}
+	return engine.CheckTraceFrom(base, prog.Rules, server.Commits(events))
+}

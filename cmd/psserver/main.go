@@ -1,0 +1,74 @@
+// Command psserver hosts the multi-tenant rule service: a TCP wire
+// protocol serving many concurrent engine sessions, one tenant each,
+// with streaming WME ingest, batched run commands, streamed commit
+// traces and metrics snapshots. See docs/SERVER.md for the protocol
+// and cmd/psload for the matching load driver.
+//
+// Usage:
+//
+//	psserver -addr 127.0.0.1:7007 -storage-root ./data \
+//	         -queue 64 -max-sessions 1024 -metrics-http :6060
+//
+// The server drains gracefully on SIGINT/SIGTERM: every session is
+// reaped (durable backends closed cleanly) before exit, and -metrics
+// prints a final server-level snapshot.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pdps/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7007", "listen address")
+		queue       = flag.Int("queue", 64, "per-session dispatch queue depth")
+		block       = flag.Bool("block", false, "block ingest on a full dispatch queue instead of shedding with an overloaded error")
+		maxSessions = flag.Int("max-sessions", 1024, "admission-control bound on live sessions")
+		storageRoot = flag.String("storage-root", "", "root directory for durable sessions (empty disables storage_dir requests)")
+		metricsOut  = flag.Bool("metrics", false, "print the server metrics snapshot on shutdown")
+		metricsHTTP = flag.String("metrics-http", "", "serve live server metrics as expvar JSON on this address (/debug/vars)")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		QueueDepth:  *queue,
+		BlockOnFull: *block,
+		MaxSessions: *maxSessions,
+		StorageRoot: *storageRoot,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("psserver listening on %s (queue=%d block=%v max-sessions=%d storage=%q)\n",
+		srv.Addr(), *queue, *block, *maxSessions, *storageRoot)
+
+	if *metricsHTTP != "" {
+		expvar.Publish("pdps_server", srv.Metrics().Expvar())
+		go func() {
+			if err := http.ListenAndServe(*metricsHTTP, nil); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("metrics: http://%s/debug/vars\n", *metricsHTTP)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("psserver: %v, draining\n", s)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if *metricsOut {
+		srv.Metrics().Snapshot().WriteText(os.Stdout)
+	}
+}

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// occupyActor parks the session's actor on a blocker task and waits
+// until it has picked the task up, so the dispatch queue's occupancy
+// is exactly under the test's control from then on.
+func occupyActor(t *testing.T, sess *session) (release func()) {
+	t.Helper()
+	releaseCh := make(chan struct{})
+	started := make(chan struct{})
+	sess.queue <- task{fn: func() {
+		close(started)
+		<-releaseCh
+	}}
+	<-started
+	return func() { close(releaseCh) }
+}
+
+// TestBackpressureShed pins the shed policy: with the actor busy and
+// the dispatch queue full, ingest gets a typed overloaded error and
+// server_ingest_backpressure_total increments once per shed request —
+// deterministically, because the actor is parked on a test hook.
+func TestBackpressureShed(t *testing.T) {
+	srv := startServer(t, Config{QueueDepth: 1})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, _, _, err := c.Create(tenantProgram("bp"), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup(id)
+	release := occupyActor(t, sess)
+	sess.queue <- task{fn: func() {}} // fill the single queue slot
+
+	for want := int64(1); want <= 2; want++ {
+		_, err := c.Assert(id, eventTuple("bp", int(want)))
+		if !IsOverloaded(err) {
+			t.Fatalf("assert with full queue: err = %v, want overloaded", err)
+		}
+		if got := srv.Metrics().Snapshot().Counter("server_ingest_backpressure_total"); got != want {
+			t.Fatalf("server_ingest_backpressure_total = %d, want %d", got, want)
+		}
+	}
+
+	release()
+	// Wait for the actor to drain the queue (the sentinel send blocks
+	// until the filler slot frees, and its callback marks execution),
+	// then ingest flows again and the counter stays put.
+	drained := make(chan struct{})
+	sess.queue <- task{fn: func() { close(drained) }}
+	<-drained
+	if _, err := c.Assert(id, eventTuple("bp", 99)); err != nil {
+		t.Fatalf("assert after drain: %v", err)
+	}
+	if got := srv.Metrics().Snapshot().Counter("server_ingest_backpressure_total"); got != 2 {
+		t.Fatalf("server_ingest_backpressure_total = %d after drain, want 2", got)
+	}
+}
+
+// TestBackpressureBlock pins the blocking policy: a full queue stalls
+// the submitting connection (no response, counter incremented) until
+// the actor frees a slot, then the request completes normally.
+func TestBackpressureBlock(t *testing.T) {
+	srv := startServer(t, Config{QueueDepth: 1, BlockOnFull: true})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, _, _, err := c.Create(tenantProgram("bp"), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup(id)
+	release := occupyActor(t, sess)
+	sess.queue <- task{fn: func() {}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Assert(id, eventTuple("bp", 1))
+		done <- err
+	}()
+	// The block path increments the counter before parking.
+	waitFor(t, 5*time.Second, "backpressure counter", func() bool {
+		return srv.Metrics().Snapshot().Counter("server_ingest_backpressure_total") == 1
+	})
+	select {
+	case err := <-done:
+		t.Fatalf("blocked assert returned early: %v", err)
+	default:
+	}
+
+	release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("assert after unblock: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("assert still blocked after actor release")
+	}
+}
+
+// TestBlockedSubmitterUnblocksOnTeardown pins the shutdown path: a
+// connection parked in blocking backpressure is woken with a typed
+// closed error when the session is torn down, so teardown can never
+// wedge behind a stalled tenant.
+func TestBlockedSubmitterUnblocksOnTeardown(t *testing.T) {
+	srv := startServer(t, Config{QueueDepth: 1, BlockOnFull: true})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id, _, _, err := c.Create(tenantProgram("bp"), SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := srv.lookup(id)
+	release := occupyActor(t, sess)
+	defer release()
+	sess.queue <- task{fn: func() {}}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Assert(id, eventTuple("bp", 1))
+		done <- err
+	}()
+	waitFor(t, 5*time.Second, "backpressure counter", func() bool {
+		return srv.Metrics().Snapshot().Counter("server_ingest_backpressure_total") == 1
+	})
+
+	go sess.teardown() // teardown blocks on the parked submitter, hence the goroutine
+	select {
+	case err := <-done:
+		if se, ok := err.(*ServerError); !ok || se.Code != CodeClosed {
+			t.Fatalf("blocked assert after teardown: err = %v, want typed %s", err, CodeClosed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked submitter not woken by teardown")
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStress64Sessions is the -race stress suite: 64 tenant sessions
+// spread over a handful of multiplexed connections, each ingesting and
+// running concurrently while separate goroutines hammer per-session
+// and server-level metrics snapshots and a third of the tenants close
+// early mid-traffic. The engine clock is the Options.Clock seam's
+// immediate clock, so nothing here depends on wall-clock timing.
+func TestStress64Sessions(t *testing.T) {
+	const (
+		sessions = 64
+		conns    = 8
+		batches  = 4
+		perBatch = 4
+	)
+	srv := startServer(t, Config{MaxSessions: sessions + 8, QueueDepth: 8})
+	addr := srv.Addr().String()
+
+	clients := make([]*Client, conns)
+	for i := range clients {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+
+	stopPolling := make(chan struct{})
+	var pollers sync.WaitGroup
+	ids := make(chan string, sessions)
+
+	// Metrics hammer: server-level and random per-session snapshots
+	// concurrent with ingest, runs and closes.
+	for p := 0; p < 2; p++ {
+		pollers.Add(1)
+		go func(p int) {
+			defer pollers.Done()
+			c := clients[p]
+			known := []string{}
+			for {
+				select {
+				case <-stopPolling:
+					return
+				case id := <-ids:
+					known = append(known, id)
+				default:
+				}
+				if _, err := c.Metrics(""); err != nil {
+					return
+				}
+				if len(known) > 0 {
+					// Sessions may close mid-poll; not_found and closed
+					// are legal answers, errors in transport are not.
+					sid := known[rand.Intn(len(known))]
+					if _, err := c.Metrics(sid); err != nil {
+						if _, ok := err.(*ServerError); !ok {
+							t.Errorf("metrics poll transport error: %v", err)
+							return
+						}
+					}
+				}
+			}
+		}(p)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := clients[i%conns]
+			tenant := fmt.Sprintf("x%03d", i)
+			id, _, _, err := c.Create(tenantProgram(tenant), SessionOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			select {
+			case ids <- id:
+			default:
+			}
+			closeEarly := i%3 == 0
+			seq := 0
+			for b := 0; b < batches; b++ {
+				tuples := make([]string, 0, perBatch)
+				for k := 0; k < perBatch; k++ {
+					tuples = append(tuples, eventTuple(tenant, seq))
+					seq++
+				}
+				if _, err := c.Assert(id, tuples...); err != nil {
+					if IsOverloaded(err) {
+						continue // shed under pressure: acceptable, retry next batch
+					}
+					errs <- fmt.Errorf("tenant %s assert: %w", tenant, err)
+					return
+				}
+				if _, err := c.Run(id, 0); err != nil {
+					errs <- fmt.Errorf("tenant %s run: %w", tenant, err)
+					return
+				}
+				if closeEarly && b == 1 {
+					if err := c.CloseSession(id); err != nil {
+						errs <- fmt.Errorf("tenant %s early close: %w", tenant, err)
+					}
+					return
+				}
+			}
+			if err := c.CloseSession(id); err != nil {
+				errs <- fmt.Errorf("tenant %s close: %w", tenant, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopPolling)
+	pollers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "all sessions reaped", func() bool {
+		return srv.SessionCount() == 0
+	})
+}

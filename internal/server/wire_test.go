@@ -1,0 +1,127 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte(""), []byte("x"), bytes.Repeat([]byte("abc"), 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame round-trip: got %q, want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("read past end: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// Oversized length prefix.
+	var buf bytes.Buffer
+	WriteFrame(&buf, bytes.Repeat([]byte("y"), 100))
+	if _, err := ReadFrame(&buf, 10); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversize: %v, want ErrFrameTooLarge", err)
+	}
+	// Truncated payload.
+	if _, err := ReadFrame(strings.NewReader("\x00\x00\x00\x10abc"), 0); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("torn payload: %v, want ErrShortFrame", err)
+	}
+	// Truncated header.
+	if _, err := ReadFrame(strings.NewReader("\x00\x00"), 0); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("torn header: %v, want ErrShortFrame", err)
+	}
+}
+
+func TestDecodeFrameRest(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("first"))
+	WriteFrame(&buf, []byte("second"))
+	p1, rest, err := DecodeFrame(buf.Bytes(), 0)
+	if err != nil || string(p1) != "first" {
+		t.Fatalf("frame 1: %q, %v", p1, err)
+	}
+	p2, rest, err := DecodeFrame(rest, 0)
+	if err != nil || string(p2) != "second" || len(rest) != 0 {
+		t.Fatalf("frame 2: %q, rest %d, %v", p2, len(rest), err)
+	}
+	if _, _, err := DecodeFrame(rest, 0); !errors.Is(err, ErrShortFrame) {
+		t.Fatalf("empty buffer: %v, want ErrShortFrame", err)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		ok   bool
+	}{
+		{"create ok", Request{Type: ReqCreate, Program: "(p a (b ^c <d>) --> (remove 1))"}, true},
+		{"create empty program", Request{Type: ReqCreate}, false},
+		{"assert ok", Request{Type: ReqAssert, Session: "s1", WMEs: []string{"(a ^b 1)"}}, true},
+		{"assert no session", Request{Type: ReqAssert, WMEs: []string{"(a ^b 1)"}}, false},
+		{"assert no tuples", Request{Type: ReqAssert, Session: "s1"}, false},
+		{"retract bad id", Request{Type: ReqRetract, Session: "s1", WMEID: -1}, false},
+		{"run negative", Request{Type: ReqRun, Session: "s1", Max: -5}, false},
+		{"run ok", Request{Type: ReqRun, Session: "s1", Max: 10}, true},
+		{"unknown type", Request{Type: "explode"}, false},
+		{"metrics sessionless", Request{Type: ReqMetrics}, true},
+	}
+	for _, tc := range cases {
+		b, err := EncodeRequest(&tc.req)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		got, err := DecodeRequest(b)
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s: validation passed, want error", tc.name)
+		}
+		pe := &ProtocolError{}
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: error %v is not a *ProtocolError", tc.name, err)
+		}
+		if got == nil {
+			t.Fatalf("%s: no partial request for ID echo", tc.name)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	in := &Response{Type: RespTrace, ID: 42, Session: "s7", More: true,
+		Events: []TraceEvent{{Seq: 3, Kind: "commit", Rule: "r", Inst: "r|1@1", WMEs: []string{"(a ^b 1)"}}}}
+	b, err := EncodeResponse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeResponse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 42 || !out.More || len(out.Events) != 1 || out.Events[0].Rule != "r" {
+		t.Fatalf("response round-trip: %+v", out)
+	}
+	ev := out.Events[0].ToTraceEvent()
+	if ev.Kind.String() != "commit" || ev.WMEs[0] != "(a ^b 1)" {
+		t.Fatalf("trace event conversion: %+v", ev)
+	}
+}
