@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet metrics-check serve-smoke bench bench-smoke bench-compare
+.PHONY: all build test race vet metrics-check serve-smoke repl-smoke bench bench-smoke bench-compare
 
 all: build vet test
 
@@ -23,7 +23,7 @@ vet:
 # metrics change with:
 #   go test -run TestGoldenMetrics -update .
 metrics-check:
-	$(GO) test -run 'TestGoldenMetrics|TestExportedAPIDocumented' .
+	$(GO) test -run 'TestGoldenMetrics|TestExportedAPIDocumented|TestMetricCatalogCovers' .
 	$(GO) test -run 'TestMetricsDeterministic|TestMetricsConflictCounters' ./internal/detsched
 	$(GO) test -race -run 'TestSnapshotDuringParallelRun|TestSerialEngineMetrics' ./internal/engine
 	$(GO) test -race ./internal/obs
@@ -36,6 +36,17 @@ serve-smoke:
 	$(GO) build ./cmd/psserver ./cmd/psload
 	$(GO) run ./cmd/psload -loopback -sessions 32 -events 10000 -check \
 		-metrics-out metrics-artifacts/psload-metrics.json
+
+# repl-smoke exercises schedule-shipping replication end to end over
+# loopback: a primary streams a 1000-commit run to two replay
+# followers that must verify byte-identical (store hash, metrics
+# snapshot, admissible trace), then a late apply-mode follower
+# bootstraps from a checkpoint. The -race suite double-covers the same
+# paths; this is the CI smoke step for cmd/psrepl (docs/REPLICATION.md).
+repl-smoke:
+	$(GO) build ./cmd/psrepl ./cmd/psload
+	$(GO) run ./cmd/psload -repl -events 500 -followers 2 -readers 1 \
+		-metrics-out metrics-artifacts/psrepl-metrics.json
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

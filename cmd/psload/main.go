@@ -44,8 +44,20 @@ func main() {
 		conns      = flag.Int("conns", 4, "client connections shared by the tenants")
 		check      = flag.Bool("check", false, "verify each streamed commit trace is admissible (Definition 3.2)")
 		metricsOut = flag.String("metrics-out", "", "write the server metrics snapshot to this file as JSON (loopback only)")
+
+		replBench = flag.Bool("repl", false, "run the replication benchmark (E20) instead of driving a server")
+		followers = flag.Int("followers", 2, "repl benchmark: replay follower count")
+		readers   = flag.Int("readers", 2, "repl benchmark: reader goroutines per replica")
+		seed      = flag.Int64("seed", 42, "repl benchmark: primary schedule seed")
 	)
 	flag.Parse()
+	if *replBench {
+		if *followers < 1 || *readers < 0 || *events < 1 {
+			log.Fatal("psload: -followers must be positive and -readers non-negative")
+		}
+		runReplBench(*events, *followers, *readers, *seed, *metricsOut)
+		return
+	}
 	if *sessions < 1 || *batch < 1 || *runEvery < 1 || *conns < 1 {
 		log.Fatal("psload: -sessions, -batch, -run-every and -conns must be positive")
 	}

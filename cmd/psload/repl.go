@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdps/internal/obs"
+	"pdps/internal/repl"
+	"pdps/internal/server"
+	"pdps/internal/wm"
+)
+
+// replProgram seeds the absorb/clear workload entirely in initial
+// working memory: every event WME is absorbed into a done marker that
+// a second rule clears, so a run over E events commits exactly 2E
+// records and drains to an empty store.
+func replProgram(events int) string {
+	var b strings.Builder
+	b.WriteString(`
+(p absorb (event ^seq <s>) --> (remove 1) (make done ^seq <s>))
+(p clear  (done ^seq <s>) --> (remove 1))
+`)
+	for i := 0; i < events; i++ {
+		fmt.Fprintf(&b, "(wme event ^seq %d)\n", i)
+	}
+	return b.String()
+}
+
+// runReplBench is the E20 experiment: one replication primary streams
+// a 2×events-commit run to N replay followers while reader goroutines
+// serve snapshot reads off every replica; a lag sampler records the
+// follower-side replication lag, and after the fleet verifies, a late
+// apply-mode follower measures the checkpoint catch-up path.
+func runReplBench(events, followers, readers int, seed int64, metricsOut string) {
+	reg := obs.NewRegistry()
+	lagSampled := reg.Histogram("repl_lag_sampled", "records")
+
+	p, err := repl.NewPrimary(repl.PrimaryOptions{
+		Program:         replProgram(events),
+		Config:          repl.RunConfig{Np: 4, Seed: seed},
+		CheckpointEvery: 64,
+		Metrics:         reg,
+	})
+	if err != nil {
+		log.Fatalf("psload: repl primary: %v", err)
+	}
+	if err := p.Listen("127.0.0.1:0"); err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	fmt.Printf("psload: repl primary on %s (%d events -> %d commits, %d replay followers, %d readers each)\n",
+		p.Addr(), events, 2*events, followers, readers)
+
+	fleet := make([]*repl.Follower, followers)
+	for i := range fleet {
+		fleet[i] = repl.NewFollower(repl.FollowerOptions{
+			ID:      fmt.Sprintf("r%d", i+1),
+			Metrics: reg,
+		})
+		if err := fleet[i].Connect(p.Addr().String()); err != nil {
+			log.Fatalf("psload: follower %d connect: %v", i, err)
+		}
+		defer fleet[i].Close()
+	}
+
+	// Readers hammer every replica's snapshot view for the duration of
+	// the run; a diverged or not-yet-bootstrapped replica refuses reads,
+	// which counts as a miss, never as stale data.
+	var reads, readMisses int64
+	stop := make(chan struct{})
+	var readWG sync.WaitGroup
+	for _, f := range fleet {
+		for r := 0; r < readers; r++ {
+			readWG.Add(1)
+			go func(f *repl.Follower) {
+				defer readWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					err := f.View(func(s *wm.Store) { _ = s.Len() })
+					if err != nil {
+						atomic.AddInt64(&readMisses, 1)
+					} else {
+						atomic.AddInt64(&reads, 1)
+					}
+				}
+			}(f)
+		}
+	}
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(500 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				for _, f := range fleet {
+					lagSampled.Observe(int64(f.Lag()))
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	out, err := p.Run()
+	if err != nil {
+		log.Fatalf("psload: primary run: %v", err)
+	}
+	runElapsed := time.Since(start)
+
+	for i, f := range fleet {
+		rep, err := f.Wait(120 * time.Second)
+		if err != nil {
+			log.Fatalf("psload: follower %d: %v", i, err)
+		}
+		if !rep.TraceChecked || rep.Fired != out.Result.Firings {
+			log.Fatalf("psload: follower %d verification: %+v", i, rep)
+		}
+	}
+	verifyElapsed := time.Since(start)
+	close(stop)
+	readWG.Wait()
+	<-samplerDone
+
+	// Late joiner: an apply-mode follower bootstraps from the newest
+	// checkpoint and folds only the record suffix.
+	catchStart := time.Now()
+	late := repl.NewFollower(repl.FollowerOptions{
+		ID: "late", Mode: server.ReplModeApply, Metrics: reg,
+	})
+	if err := late.Connect(p.Addr().String()); err != nil {
+		log.Fatalf("psload: late follower connect: %v", err)
+	}
+	defer late.Close()
+	lateRep, err := late.Wait(120 * time.Second)
+	if err != nil {
+		log.Fatalf("psload: late follower: %v", err)
+	}
+	catchElapsed := time.Since(catchStart)
+
+	head := p.HeadLSN()
+	fmt.Printf("psload: primary run %v, fleet verified byte-identical %v after start (%d records, %d choices)\n",
+		runElapsed.Round(time.Millisecond), verifyElapsed.Round(time.Millisecond),
+		head, len(out.Choices))
+	secs := verifyElapsed.Seconds()
+	totalReads := atomic.LoadInt64(&reads)
+	fmt.Printf("psload: replica reads %d ok / %d refused, %.0f reads/s across %d replicas\n",
+		totalReads, atomic.LoadInt64(&readMisses), float64(totalReads)/secs, followers)
+	snap := reg.Snapshot()
+	if pt, ok := snap.Histogram("repl_lag_sampled"); ok && pt.Count > 0 {
+		fmt.Printf("psload: replication lag p50=%d p99=%d max=%d records (n=%d samples)\n",
+			pt.Quantile(0.5), pt.Quantile(0.99), pt.Max, pt.Count)
+	}
+	lateApplied := snap.Counter("repl_records_applied_total", obs.L("follower", "late"))
+	fmt.Printf("psload: late apply catch-up %v: snapshot + %d of %d records, hash %s\n",
+		catchElapsed.Round(time.Millisecond), lateApplied, head, lateRep.StoreHash[:12])
+	if div := snap.Counter("repl_divergence_total", obs.L("follower", "late")); div != 0 {
+		log.Fatalf("psload: late follower divergence counter = %d", div)
+	}
+
+	if metricsOut != "" {
+		b, err := snap.MarshalIndent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dir := filepath.Dir(metricsOut); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(metricsOut, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("psload: repl metrics written to %s\n", metricsOut)
+	}
+}

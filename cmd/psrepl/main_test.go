@@ -1,0 +1,143 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary impersonate psrepl (PSREPL_MAIN=1), so
+// the loopback test drives the real CLI — one primary process, two
+// follower processes — without a go build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("PSREPL_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+const smokeProgram = `
+(p grow
+  (cell ^gen <g> ^alive true)
+  (limit ^gen > <g>)
+  -->
+  (modify 1 ^gen (+ <g> 1)))
+(wme limit ^gen 5)
+(wme cell ^id 0 ^gen 0 ^alive true)
+(wme cell ^id 1 ^gen 0 ^alive true)
+(wme cell ^id 2 ^gen 0 ^alive true)
+(wme cell ^id 3 ^gen 0 ^alive true)
+`
+
+func psrepl(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "PSREPL_MAIN=1")
+	return cmd
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestLoopbackSmoke is the CLI end of the tentpole: a primary process
+// streams a run to one replay and one apply follower process; both
+// must verify and report the same store hash.
+func TestLoopbackSmoke(t *testing.T) {
+	dir := t.TempDir()
+	progFile := filepath.Join(dir, "grow.ops")
+	if err := os.WriteFile(progFile, []byte(smokeProgram), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr := freePort(t)
+
+	primary := psrepl(t, "-listen", addr, "-program", progFile,
+		"-np", "3", "-seed", "7", "-followers", "2", "-drain", "60s",
+		"-metrics-json", filepath.Join(dir, "primary.json"))
+	pout := &strings.Builder{}
+	primary.Stdout, primary.Stderr = pout, pout
+	if err := primary.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Process.Kill()
+
+	// Wait for the listener before pointing followers at it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never listened:\n%s", pout.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	type followerRun struct {
+		out string
+		err error
+	}
+	results := make([]followerRun, 2)
+	var wg sync.WaitGroup
+	for i, mode := range []string{"replay", "apply"} {
+		wg.Add(1)
+		go func(i int, mode string) {
+			defer wg.Done()
+			f := psrepl(t, "-connect", addr, "-mode", mode,
+				"-id", fmt.Sprintf("f%d", i),
+				"-metrics-json", filepath.Join(dir, fmt.Sprintf("f%d.json", i)))
+			b, err := f.CombinedOutput()
+			results[i] = followerRun{out: string(b), err: err}
+		}(i, mode)
+	}
+	wg.Wait()
+	if err := primary.Wait(); err != nil {
+		t.Fatalf("primary: %v\n%s", err, pout.String())
+	}
+	if !strings.Contains(pout.String(), "firings=20") {
+		t.Fatalf("primary output (want 4 cells x 5 gens = 20 firings):\n%s", pout.String())
+	}
+
+	hashes := make([]string, 2)
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("follower %d: %v\n%s", i, r.err, r.out)
+		}
+		if !strings.Contains(r.out, "records=20") || !strings.Contains(r.out, "trace checked: true") {
+			t.Fatalf("follower %d output:\n%s", i, r.out)
+		}
+		for _, line := range strings.Split(r.out, "\n") {
+			if strings.HasPrefix(line, "store hash ") {
+				hashes[i] = strings.Fields(line)[2]
+			}
+		}
+	}
+	if hashes[0] == "" || hashes[0] != hashes[1] {
+		t.Fatalf("store hashes differ across modes: %q vs %q", hashes[0], hashes[1])
+	}
+	for _, f := range []string{"primary.json", "f0.json", "f1.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("metrics artifact %s missing: %v", f, err)
+		}
+	}
+}

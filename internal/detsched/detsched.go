@@ -147,8 +147,20 @@ func (o RunOutcome) Commits() []trace.Event {
 // the policy's decisions are the only source of scheduling freedom,
 // and time is virtual.
 func Run(p engine.Program, cfg Config, policy sched.Policy) RunOutcome {
-	ctl := sched.NewDet(policy)
-	ctl.MaxSteps = cfg.maxDecisions()
+	return RunUnder(p, cfg, sched.NewDet(policy))
+}
+
+// RunUnder executes the program once on the Parallel engine under a
+// caller-built controller. The controller must be fresh (a Det is
+// single-use); building it outside lets the caller install hooks —
+// replication's primary sets ctl.OnChoice to stream decisions as they
+// are made, and a follower drives the controller with a sched.Stream
+// policy fed from the network. MaxSteps is defaulted from the config
+// when the caller left it zero.
+func RunUnder(p engine.Program, cfg Config, ctl *sched.Det) RunOutcome {
+	if ctl.MaxSteps == 0 {
+		ctl.MaxSteps = cfg.maxDecisions()
+	}
 	opts := engine.Options{
 		Matcher:        cfg.Matcher,
 		MatchShards:    cfg.MatchShards,

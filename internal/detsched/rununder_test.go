@@ -1,0 +1,55 @@
+package detsched
+
+import (
+	"reflect"
+	"testing"
+
+	"pdps/internal/sched"
+)
+
+// TestRunUnderMatchesRun pins the refactoring seam: Run(p, cfg) must
+// be exactly RunUnder with a fresh controller — same choices, same
+// result, same metrics bytes — so callers that need to install
+// controller hooks (replication's OnChoice tee) lose nothing.
+func TestRunUnderMatchesRun(t *testing.T) {
+	prog := counterProgram()
+	cfg := Config{Np: 3}
+
+	a := Run(prog, cfg, sched.NewRandom(17))
+	ctl := sched.NewDet(sched.NewRandom(17))
+	b := RunUnder(prog, cfg, ctl)
+
+	if a.Err != nil || b.Err != nil || a.SchedErr != nil || b.SchedErr != nil {
+		t.Fatalf("errors: %v %v %v %v", a.Err, a.SchedErr, b.Err, b.SchedErr)
+	}
+	if !reflect.DeepEqual(a.Choices, b.Choices) {
+		t.Fatalf("choice sequences differ:\n%v\nvs\n%v", a.Choices, b.Choices)
+	}
+	if a.Result.Firings != b.Result.Firings || a.Result.Aborts != b.Result.Aborts {
+		t.Fatalf("results differ: %+v vs %+v", a.Result, b.Result)
+	}
+	am, err := a.Metrics.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := b.Metrics.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(am) != string(bm) {
+		t.Fatal("metrics snapshots differ between Run and RunUnder")
+	}
+}
+
+// TestRunUnderDefaultsMaxSteps checks that a caller-built controller
+// without an explicit budget inherits the config's decision bound.
+func TestRunUnderDefaultsMaxSteps(t *testing.T) {
+	ctl := sched.NewDet(sched.NewRandom(1))
+	out := RunUnder(counterProgram(), Config{Np: 2, MaxDecisions: 64}, ctl)
+	if out.Err != nil || out.SchedErr != nil {
+		t.Fatalf("run failed: %v / %v", out.Err, out.SchedErr)
+	}
+	if ctl.MaxSteps != 64 {
+		t.Fatalf("MaxSteps = %d, want 64 from config", ctl.MaxSteps)
+	}
+}

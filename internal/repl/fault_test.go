@@ -1,0 +1,238 @@
+package repl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"pdps/internal/sched"
+	"pdps/internal/storage"
+	"pdps/internal/wm"
+)
+
+// faultProgram is a longer grow run (6 cells × 10 generations = 60
+// commits) so faults can be injected mid-stream.
+const faultProgram = `
+(p grow
+  (cell ^gen <g> ^alive true)
+  (limit ^gen > <g>)
+  -->
+  (modify 1 ^gen (+ <g> 1)))
+(wme limit ^gen 10)
+(wme cell ^id 0 ^gen 0 ^alive true)
+(wme cell ^id 1 ^gen 0 ^alive true)
+(wme cell ^id 2 ^gen 0 ^alive true)
+(wme cell ^id 3 ^gen 0 ^alive true)
+(wme cell ^id 4 ^gen 0 ^alive true)
+(wme cell ^id 5 ^gen 0 ^alive true)
+`
+
+const faultCommits = 6 * 10
+
+// gateBackend blocks the primary's Nth append until the test opens the
+// gate, pinning the run — and therefore the replication stream — at a
+// known LSN so a fault can be injected strictly mid-stream.
+type gateBackend struct {
+	inner storage.Backend
+	mu    sync.Mutex
+	n     int
+	at    int
+	gate  chan struct{}
+}
+
+func (g *gateBackend) Append(r *storage.Record) (storage.LSN, error) {
+	g.mu.Lock()
+	g.n++
+	blocked := g.n == g.at
+	g.mu.Unlock()
+	if blocked {
+		<-g.gate
+	}
+	return g.inner.Append(r)
+}
+
+func (g *gateBackend) Sync() error                         { return g.inner.Sync() }
+func (g *gateBackend) Checkpoint(s *wm.Store) error        { return g.inner.Checkpoint(s) }
+func (g *gateBackend) Recover() (*storage.Recovery, error) { return g.inner.Recover() }
+func (g *gateBackend) Close() error                        { return g.inner.Close() }
+
+// TestDisconnectReconnectResume drops a replay follower's connection
+// strictly mid-stream (the primary is gated at LSN 30, so fin cannot
+// have been sent), lets the primary finish, reconnects, and checks the
+// follower resumes from its exact choice/LSN position and still
+// verifies byte-identical.
+func TestDisconnectReconnectResume(t *testing.T) {
+	gate := make(chan struct{})
+	gb := &gateBackend{inner: storage.NewMem(), at: 30, gate: gate}
+	p, err := NewPrimary(PrimaryOptions{
+		Program: faultProgram,
+		Config:  RunConfig{Np: 3, Seed: 9},
+		Storage: gb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	f := NewFollower(FollowerOptions{ID: "resume", AckEvery: 4})
+	if err := f.Connect(p.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := p.Run()
+		runErr <- err
+	}()
+
+	if !waitUntil(waitLong, func() bool { return f.AppliedLSN() >= 10 }) {
+		t.Fatal("follower never applied 10 records")
+	}
+	f.Disconnect()
+	f.mu.Lock()
+	finSeen := f.fin != nil
+	resumeChoice, resumeLSN := f.fedChoices, f.shippedHigh
+	f.mu.Unlock()
+	if finSeen {
+		t.Fatal("fin arrived before the gate opened — fault was not mid-stream")
+	}
+	if resumeLSN >= uint64(faultCommits) {
+		t.Fatalf("follower already saw LSN %d before the gate", resumeLSN)
+	}
+
+	close(gate)
+	if err := <-runErr; err != nil {
+		t.Fatalf("primary run: %v", err)
+	}
+	if head := p.HeadLSN(); head != uint64(faultCommits) {
+		t.Fatalf("head = %d, want %d", head, faultCommits)
+	}
+
+	if err := f.Connect(p.Addr().String()); err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+	rep := mustReport(t, f)
+	if rep.Fired != faultCommits || rep.Records != uint64(faultCommits) || !rep.TraceChecked {
+		t.Fatalf("post-resume report = %+v", rep)
+	}
+	t.Logf("resumed from choice %d / LSN %d of %d records", resumeChoice, resumeLSN, faultCommits)
+
+	snap := f.Metrics().Snapshot()
+	l := labelsFor("resume")
+	if got := snap.Counter("repl_divergence_total", l...); got != 0 {
+		t.Fatalf("divergence counter = %d after clean resume", got)
+	}
+	if got := snap.Counter("repl_records_applied_total", l...); got != int64(faultCommits) {
+		t.Fatalf("records applied = %d, want %d", got, faultCommits)
+	}
+}
+
+// TestCorruptScheduleDiverges feeds a replica one structurally invalid
+// choice (picked index out of range). The stream policy detects the
+// branch mismatch, the replica engine aborts, the divergence counter
+// fires, and the follower refuses reads — no stale state is served.
+func TestCorruptScheduleDiverges(t *testing.T) {
+	p := newTestPrimary(t, RunConfig{Np: 3, Seed: 42}, 0)
+	f := NewFollower(FollowerOptions{ID: "corrupt"})
+	f.mutateChoice = func(seq int, c sched.Choice) sched.Choice {
+		if seq == 5 {
+			c.Picked = c.N // out of range: structurally corrupt
+		}
+		return c
+	}
+	if err := f.Connect(p.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+
+	if _, err := p.Run(); err != nil {
+		t.Fatalf("primary run unaffected by bad replica, got %v", err)
+	}
+	_, err := f.Wait(waitLong)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("wait = %v, want ErrDiverged", err)
+	}
+	assertHalted(t, f, "corrupt")
+}
+
+// TestFlippedChoiceDiverges mutates one in-range choice: the replica
+// runs a perfectly valid — but different — schedule, and the byte
+// comparison of its self-produced records against the shipped ones
+// (or the schedule shape itself) catches the divergence.
+func TestFlippedChoiceDiverges(t *testing.T) {
+	p := newTestPrimary(t, RunConfig{Np: 3, Seed: 42}, 0)
+	f := NewFollower(FollowerOptions{ID: "flipped"})
+	flipped := false
+	f.mutateChoice = func(seq int, c sched.Choice) sched.Choice {
+		if !flipped && c.N >= 2 {
+			flipped = true
+			c.Picked = (c.Picked + 1) % c.N // valid index, different branch
+		}
+		return c
+	}
+	if err := f.Connect(p.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+
+	if _, err := p.Run(); err != nil {
+		t.Fatalf("primary run: %v", err)
+	}
+	_, err := f.Wait(waitLong)
+	if !errors.Is(err, ErrDiverged) {
+		t.Fatalf("wait = %v, want ErrDiverged", err)
+	}
+	assertHalted(t, f, "flipped")
+}
+
+// assertHalted checks the halted-replica contract: Diverged reports
+// true, the divergence counter fired exactly once, and View refuses to
+// serve state.
+func assertHalted(t *testing.T, f *Follower, id string) {
+	t.Helper()
+	if !f.Diverged() {
+		t.Fatal("Diverged() = false")
+	}
+	snap := f.Metrics().Snapshot()
+	if got := snap.Counter("repl_divergence_total", labelsFor(id)...); got != 1 {
+		t.Fatalf("divergence counter = %d, want 1", got)
+	}
+	if err := f.View(func(*wm.Store) {}); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("View after divergence = %v, want ErrDiverged", err)
+	}
+}
+
+// TestDivergedFollowerDoesNotPoisonOthers runs a healthy follower next
+// to a corrupted one on the same primary: the healthy replica still
+// verifies byte-identical.
+func TestDivergedFollowerDoesNotPoisonOthers(t *testing.T) {
+	p := newTestPrimary(t, RunConfig{Np: 3, Seed: 13}, 0)
+	good := NewFollower(FollowerOptions{ID: "good"})
+	bad := NewFollower(FollowerOptions{ID: "bad"})
+	bad.mutateChoice = func(seq int, c sched.Choice) sched.Choice {
+		if seq == 3 {
+			c.Picked = c.N
+		}
+		return c
+	}
+	for _, f := range []*Follower{good, bad} {
+		if err := f.Connect(p.Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(f.Close)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatalf("primary run: %v", err)
+	}
+	if _, err := bad.Wait(waitLong); !errors.Is(err, ErrDiverged) {
+		t.Fatalf("bad wait = %v, want ErrDiverged", err)
+	}
+	rep := mustReport(t, good)
+	if rep.Fired != growCommits || !rep.TraceChecked {
+		t.Fatalf("good follower report = %+v", rep)
+	}
+}

@@ -1,0 +1,50 @@
+package repl
+
+import "pdps/internal/obs"
+
+// primaryMetrics is the primary's repl_* family. It lives in its own
+// registry (PrimaryOptions.Metrics), never the engine's: the engine
+// registry must stay byte-identical across primary and followers, so
+// replication bookkeeping may not touch it.
+type primaryMetrics struct {
+	followers        *obs.Gauge   // repl_followers_active
+	choicesShipped   *obs.Counter // repl_choices_shipped_total
+	recordsShipped   *obs.Counter // repl_records_shipped_total
+	snapshotsShipped *obs.Counter // repl_snapshots_shipped_total
+	lag              *obs.Gauge   // repl_lag_records (head − min acked)
+}
+
+func newPrimaryMetrics(r *obs.Registry) *primaryMetrics {
+	return &primaryMetrics{
+		followers:        r.Gauge("repl_followers_active"),
+		choicesShipped:   r.Counter("repl_choices_shipped_total"),
+		recordsShipped:   r.Counter("repl_records_shipped_total"),
+		snapshotsShipped: r.Counter("repl_snapshots_shipped_total"),
+		lag:              r.Gauge("repl_lag_records"),
+	}
+}
+
+// followerMetrics is a follower's repl_* family. When the follower has
+// an ID, every series carries a follower="id" label so a fleet of
+// followers can share one registry (psload's E20 does).
+type followerMetrics struct {
+	choicesApplied  *obs.Counter // repl_choices_applied_total
+	recordsApplied  *obs.Counter // repl_records_applied_total
+	snapshotsLoaded *obs.Counter // repl_snapshots_loaded_total
+	divergence      *obs.Counter // repl_divergence_total
+	lag             *obs.Gauge   // repl_lag_records (shipped − applied)
+}
+
+func newFollowerMetrics(r *obs.Registry, id string) *followerMetrics {
+	var ls []obs.Label
+	if id != "" {
+		ls = []obs.Label{obs.L("follower", id)}
+	}
+	return &followerMetrics{
+		choicesApplied:  r.Counter("repl_choices_applied_total", ls...),
+		recordsApplied:  r.Counter("repl_records_applied_total", ls...),
+		snapshotsLoaded: r.Counter("repl_snapshots_loaded_total", ls...),
+		divergence:      r.Counter("repl_divergence_total", ls...),
+		lag:             r.Gauge("repl_lag_records", ls...),
+	}
+}

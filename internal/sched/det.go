@@ -35,6 +35,12 @@ type Controller interface {
 // budget (MaxSteps) — in fuzzing, the analogue of a timeout.
 var ErrBudget = errors.New("sched: scheduling-decision budget exceeded")
 
+// ErrPolicyAbort reports that the policy asked to abort the run by
+// returning a negative index from Pick. The Stream policy uses it to
+// unwind a replica whose schedule feed ended or diverged without
+// panicking through the controller.
+var ErrPolicyAbort = errors.New("sched: policy aborted the run")
+
 // StallError reports that no task was runnable and no timer pending:
 // the controlled system deadlocked outside the lock manager's sight.
 type StallError struct{ Dump string }
@@ -123,6 +129,13 @@ type Det struct {
 	// run is cancelled with ErrBudget. Zero means no bound. Set it
 	// before Run.
 	MaxSteps int
+
+	// OnChoice, when set before Run, observes every recorded decision
+	// as it is made — the export seam replication's primary streams
+	// from. It is invoked with the controller's lock held, so the
+	// callback must not call back into the controller; forwarding the
+	// choice to an independent structure (a mutex-guarded log) is safe.
+	OnChoice func(Choice)
 
 	policy Policy
 
@@ -344,10 +357,20 @@ func (d *Det) pickLocked() *task {
 					cands[i] = Cand{ID: t.id, Name: t.name}
 				}
 				idx = d.policy.Pick(cands)
-				if idx < 0 || idx >= len(ready) {
+				if idx < 0 {
+					// A negative pick is a controlled abort request
+					// (see ErrPolicyAbort), not a policy bug.
+					d.cancelLocked(ErrPolicyAbort)
+					return nil
+				}
+				if idx >= len(ready) {
 					panic(fmt.Sprintf("sched: policy picked %d of %d candidates", idx, len(ready)))
 				}
-				d.choices = append(d.choices, Choice{N: len(ready), Picked: idx})
+				ch := Choice{N: len(ready), Picked: idx}
+				d.choices = append(d.choices, ch)
+				if d.OnChoice != nil {
+					d.OnChoice(ch)
+				}
 			}
 			return ready[idx]
 		}

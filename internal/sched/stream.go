@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stream is a Policy whose script arrives incrementally from outside
+// the run — the import half of schedule-shipping replication. A
+// replica's engine runs under a Det driven by a Stream while a network
+// reader Feeds it the primary's recorded choices; Pick blocks until
+// the next scripted decision is available, so the controlled run
+// advances exactly as fast as the schedule arrives.
+//
+// Every scripted choice carries the branching factor the primary saw
+// (Choice.N). If the replica's run offers a different number of
+// candidates, or the scripted index is out of range, the runs have
+// diverged: Pick records the mismatch (Err) and returns a negative
+// index, which the controller turns into a clean ErrPolicyAbort
+// cancellation instead of a panic. After Close, a Pick past the end of
+// the script also aborts — a replica that wants more decisions than
+// the primary recorded has diverged too.
+//
+// Feed and Close may be called from any goroutine; Pick is called by
+// the controller only.
+type Stream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	script []Choice
+	pos    int
+	closed bool
+	err    error
+}
+
+// NewStream returns an empty, open schedule stream.
+func NewStream() *Stream {
+	s := &Stream{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Feed appends choices to the script and wakes a blocked Pick.
+func (s *Stream) Feed(choices []Choice) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.script = append(s.script, choices...)
+	s.cond.Broadcast()
+}
+
+// Close marks the end of the feed. cause, when non-nil, is recorded as
+// the stream's error (a teardown reason); nil means the primary's
+// schedule is complete and any further Pick is divergence. Close is
+// idempotent; the first call wins.
+func (s *Stream) Close(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.err == nil && cause != nil {
+		s.err = cause
+	}
+	s.cond.Broadcast()
+}
+
+// Err returns the sticky error: a divergence detected by Pick, or the
+// cause passed to Close. nil means the stream is healthy.
+func (s *Stream) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Consumed returns how many scripted decisions Pick has replayed.
+func (s *Stream) Consumed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
+
+// Pick replays the next scripted decision, blocking until it is fed.
+// It returns a negative index (controlled abort) when the stream is
+// closed and drained or when the script diverges from the run.
+func (s *Stream) Pick(cands []Cand) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pos >= len(s.script) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.pos >= len(s.script) {
+		if s.err == nil {
+			s.err = fmt.Errorf("sched: stream exhausted: run wants decision %d beyond the %d scripted (replica diverged)",
+				s.pos, len(s.script))
+		}
+		return -1
+	}
+	c := s.script[s.pos]
+	if c.N != len(cands) || c.Picked < 0 || c.Picked >= len(cands) {
+		if s.err == nil {
+			s.err = fmt.Errorf("sched: stream diverged at decision %d: scripted pick %d of %d, run offers %d candidates",
+				s.pos, c.Picked, c.N, len(cands))
+		}
+		return -1
+	}
+	s.pos++
+	return c.Picked
+}

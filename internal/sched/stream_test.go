@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// orderedRun executes n tasks that each append their id to a shared
+// log under the given policy and returns the log and the recorded
+// choices.
+func orderedRun(t *testing.T, n int, policy Policy) ([]int, []Choice, error) {
+	t.Helper()
+	d := NewDet(policy)
+	var log []int
+	err := d.Run(func() {
+		for i := 0; i < n; i++ {
+			i := i
+			d.Go("worker", func() {
+				d.Yield("start")
+				log = append(log, i)
+			})
+		}
+	})
+	return log, d.Choices(), err
+}
+
+// TestStreamReplaysRecordedRun feeds a random run's recorded choices
+// through a Stream from another goroutine, in small chunks, and
+// expects the replayed interleaving to be identical.
+func TestStreamReplaysRecordedRun(t *testing.T) {
+	want, choices, err := orderedRun(t, 6, NewRandom(42))
+	if err != nil {
+		t.Fatalf("recording run: %v", err)
+	}
+	if len(choices) == 0 {
+		t.Fatal("recording run made no choices")
+	}
+
+	s := NewStream()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(choices); i += 2 {
+			end := i + 2
+			if end > len(choices) {
+				end = len(choices)
+			}
+			s.Feed(choices[i:end])
+		}
+		s.Close(nil)
+	}()
+	got, replayed, err := orderedRun(t, 6, s)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("replayed run: %v (stream err %v)", err, s.Err())
+	}
+	if s.Err() != nil {
+		t.Fatalf("stream err: %v", s.Err())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replay log %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay log %v, want %v", got, want)
+		}
+	}
+	if len(replayed) != len(choices) {
+		t.Fatalf("replay recorded %d choices, want %d", len(replayed), len(choices))
+	}
+	if s.Consumed() != len(choices) {
+		t.Fatalf("stream consumed %d, want %d", s.Consumed(), len(choices))
+	}
+}
+
+// TestStreamUnderfeedAborts closes the stream with part of the script
+// missing: the run must unwind with ErrPolicyAbort, not hang or panic.
+func TestStreamUnderfeedAborts(t *testing.T) {
+	_, choices, err := orderedRun(t, 6, NewRandom(7))
+	if err != nil {
+		t.Fatalf("recording run: %v", err)
+	}
+	if len(choices) < 2 {
+		t.Skip("run too short to truncate")
+	}
+	s := NewStream()
+	s.Feed(choices[:len(choices)/2])
+	s.Close(nil)
+	_, _, err = orderedRun(t, 6, s)
+	if !errors.Is(err, ErrPolicyAbort) {
+		t.Fatalf("underfed run err = %v, want ErrPolicyAbort", err)
+	}
+	if s.Err() == nil {
+		t.Fatal("stream should record the exhaustion as divergence")
+	}
+}
+
+// TestStreamBranchMismatchAborts feeds a choice whose branching factor
+// cannot match the run and expects a recorded divergence.
+func TestStreamBranchMismatchAborts(t *testing.T) {
+	s := NewStream()
+	s.Feed([]Choice{{N: 99, Picked: 98}})
+	_, _, err := orderedRun(t, 3, s)
+	if !errors.Is(err, ErrPolicyAbort) {
+		t.Fatalf("mismatched run err = %v, want ErrPolicyAbort", err)
+	}
+	if s.Err() == nil {
+		t.Fatal("stream should record the branch mismatch")
+	}
+}
+
+// TestStreamCloseWithCause propagates a teardown reason.
+func TestStreamCloseWithCause(t *testing.T) {
+	cause := errors.New("follower shutting down")
+	s := NewStream()
+	s.Close(cause)
+	if !errors.Is(s.Err(), cause) {
+		t.Fatalf("Err() = %v, want %v", s.Err(), cause)
+	}
+	// Feeding after close is a no-op.
+	s.Feed([]Choice{{N: 2, Picked: 1}})
+	if s.Consumed() != 0 {
+		t.Fatal("closed stream consumed a choice")
+	}
+}
+
+// TestOnChoiceObservesEveryDecision checks the export hook sees the
+// same sequence Choices() returns.
+func TestOnChoiceObservesEveryDecision(t *testing.T) {
+	var seen []Choice
+	var mu sync.Mutex
+	d := NewDet(NewRandom(3))
+	d.OnChoice = func(c Choice) {
+		mu.Lock()
+		seen = append(seen, c)
+		mu.Unlock()
+	}
+	err := d.Run(func() {
+		for i := 0; i < 5; i++ {
+			d.Go("w", func() { d.Yield("x") })
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := d.Choices()
+	if len(seen) != len(want) {
+		t.Fatalf("hook saw %d choices, recorder has %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook choice %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}

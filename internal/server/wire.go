@@ -164,6 +164,26 @@ const (
 	ReqClose = "close"
 	// ReqPing is a liveness no-op.
 	ReqPing = "ping"
+	// ReqReplHello subscribes the connection to a replication primary's
+	// stream (internal/repl). ReplMode selects replay or apply;
+	// FromChoice/FromLSN resume a follower that reconnected mid-stream.
+	ReqReplHello = "repl_hello"
+	// ReqReplAck reports the highest LSN a follower has applied. It has
+	// no response; the primary folds it into its lag gauge and uses it
+	// to decide when the stream has drained.
+	ReqReplAck = "repl_ack"
+)
+
+// Replication modes carried by repl_hello (see docs/REPLICATION.md).
+const (
+	// ReplModeReplay re-executes the primary's run decision by decision
+	// under a deterministic controller and byte-compares every commit
+	// record, the final metrics snapshot and the store hash.
+	ReplModeReplay = "replay"
+	// ReplModeApply bootstraps from a shipped checkpoint snapshot and
+	// folds the record suffix into a store without re-executing — the
+	// catch-up path for late joiners.
+	ReplModeApply = "apply"
 )
 
 // SessionOptions is the per-tenant engine configuration carried by a
@@ -203,6 +223,12 @@ type Request struct {
 	WMEID int64 `json:"wme_id,omitempty"`
 	// Run.
 	Max int `json:"max,omitempty"`
+
+	// Replication (repl_hello / repl_ack).
+	ReplMode   string `json:"repl_mode,omitempty"`
+	FromChoice int    `json:"from_choice,omitempty"`
+	FromLSN    uint64 `json:"from_lsn,omitempty"`
+	AckLSN     uint64 `json:"ack_lsn,omitempty"`
 }
 
 // EncodeRequest marshals a request payload.
@@ -249,6 +275,17 @@ func DecodeRequest(b []byte) (*Request, error) {
 		}
 	case ReqMetrics, ReqPing:
 		// Session optional (metrics) or ignored (ping).
+	case ReqReplHello:
+		switch q.ReplMode {
+		case "", ReplModeReplay, ReplModeApply:
+		default:
+			return q, badReq("repl_hello: unknown mode %q", q.ReplMode)
+		}
+		if q.FromChoice < 0 {
+			return q, badReq("repl_hello: negative from_choice")
+		}
+	case ReqReplAck:
+		// AckLSN zero is a valid "nothing applied yet" ack.
 	default:
 		return q, badReq("unknown request type %q", q.Type)
 	}
@@ -274,7 +311,26 @@ const (
 	RespError = "error"
 	// RespPong answers a ping.
 	RespPong = "pong"
+	// RespReplHello answers a repl_hello with the program, the run
+	// configuration and, in apply mode, a bootstrap snapshot.
+	RespReplHello = "repl_hello"
+	// RespReplChoices pushes a batch of scheduling decisions; ChoiceSeq
+	// is the 0-based index of the first.
+	RespReplChoices = "repl_choices"
+	// RespReplRecords pushes a batch of encoded commit records; RecLSN
+	// is the LSN of the first.
+	RespReplRecords = "repl_records"
+	// RespReplFin terminates the stream with the primary run's totals,
+	// metrics snapshot and store hash — the divergence oracle.
+	RespReplFin = "repl_fin"
 )
+
+// ReplChoice is the wire form of one scheduling decision
+// (sched.Choice): the branching factor and the index picked.
+type ReplChoice struct {
+	N int `json:"n"`
+	P int `json:"p"`
+}
 
 // TraceEvent is the wire form of one trace-log event. Kind uses the
 // trace package's string names ("fire", "commit", "abort", "skip",
@@ -319,8 +375,27 @@ type Response struct {
 	// WME dump.
 	WMEs []string `json:"wmes,omitempty"`
 
-	// Metrics snapshot (obs.Snapshot JSON).
+	// Metrics snapshot (obs.Snapshot JSON). Also carried by repl_fin,
+	// where it must be byte-identical to the follower's own snapshot.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+
+	// Replication handshake (repl_hello): the program source, the
+	// JSON-encoded run configuration, the granted mode and, for apply
+	// mode, the bootstrap snapshot and the LSN it covers.
+	Program     string          `json:"program,omitempty"`
+	ReplMode    string          `json:"repl_mode,omitempty"`
+	ReplConfig  json.RawMessage `json:"repl_config,omitempty"`
+	Snapshot    []byte          `json:"snapshot,omitempty"`
+	SnapshotLSN uint64          `json:"snapshot_lsn,omitempty"`
+
+	// Replication stream (repl_choices / repl_records / repl_fin).
+	ChoiceSeq int          `json:"choice_seq,omitempty"`
+	Choices   []ReplChoice `json:"choices,omitempty"`
+	RecLSN    uint64       `json:"rec_lsn,omitempty"`
+	Records   [][]byte     `json:"records,omitempty"`
+	NChoices  int          `json:"n_choices,omitempty"`
+	NRecords  uint64       `json:"n_records,omitempty"`
+	StoreHash string       `json:"store_hash,omitempty"`
 }
 
 // EncodeResponse marshals a response payload.

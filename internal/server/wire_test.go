@@ -80,6 +80,13 @@ func TestRequestValidation(t *testing.T) {
 		{"run ok", Request{Type: ReqRun, Session: "s1", Max: 10}, true},
 		{"unknown type", Request{Type: "explode"}, false},
 		{"metrics sessionless", Request{Type: ReqMetrics}, true},
+		{"repl hello default mode", Request{Type: ReqReplHello}, true},
+		{"repl hello resume", Request{Type: ReqReplHello, ReplMode: ReplModeReplay, FromChoice: 12, FromLSN: 34}, true},
+		{"repl hello apply", Request{Type: ReqReplHello, ReplMode: ReplModeApply}, true},
+		{"repl hello bad mode", Request{Type: ReqReplHello, ReplMode: "psychic"}, false},
+		{"repl hello negative choice", Request{Type: ReqReplHello, FromChoice: -1}, false},
+		{"repl ack", Request{Type: ReqReplAck, AckLSN: 99}, true},
+		{"repl ack zero", Request{Type: ReqReplAck}, true},
 	}
 	for _, tc := range cases {
 		b, err := EncodeRequest(&tc.req)
@@ -123,5 +130,53 @@ func TestResponseRoundTrip(t *testing.T) {
 	ev := out.Events[0].ToTraceEvent()
 	if ev.Kind.String() != "commit" || ev.WMEs[0] != "(a ^b 1)" {
 		t.Fatalf("trace event conversion: %+v", ev)
+	}
+}
+
+// TestReplResponseRoundTrip exercises the replication frames: binary
+// record payloads must survive the JSON transport byte-for-byte and
+// raw metrics snapshots must come back exactly as shipped, because the
+// follower's divergence oracle is a byte comparison.
+func TestReplResponseRoundTrip(t *testing.T) {
+	rec := []byte{0x00, 0x01, 0xfe, 0xff, 'p', 'd', 'p', 's'}
+	metrics := []byte(`{"counters":{"engine_commits_total":7}}`)
+	frames := []*Response{
+		{Type: RespReplHello, ID: 1, ReplMode: ReplModeApply, Program: "(p a (b) --> (remove 1))",
+			ReplConfig: []byte(`{"np":4,"seed":42}`), Snapshot: []byte{9, 8, 7}, SnapshotLSN: 16},
+		{Type: RespReplChoices, ID: 1, ChoiceSeq: 5, Choices: []ReplChoice{{N: 3, P: 2}, {N: 2, P: 0}}},
+		{Type: RespReplRecords, ID: 1, RecLSN: 17, Records: [][]byte{rec, {0xab}}},
+		{Type: RespReplFin, ID: 1, NChoices: 40, NRecords: 19, Fired: 19, Quiescent: true,
+			StoreHash: "deadbeef", Metrics: metrics},
+	}
+	for _, in := range frames {
+		b, err := EncodeResponse(in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", in.Type, err)
+		}
+		out, err := DecodeResponse(b)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", in.Type, err)
+		}
+		switch in.Type {
+		case RespReplHello:
+			if out.ReplMode != ReplModeApply || out.Program != in.Program ||
+				string(out.ReplConfig) != string(in.ReplConfig) ||
+				!bytes.Equal(out.Snapshot, in.Snapshot) || out.SnapshotLSN != 16 {
+				t.Fatalf("hello round-trip: %+v", out)
+			}
+		case RespReplChoices:
+			if out.ChoiceSeq != 5 || len(out.Choices) != 2 || out.Choices[0] != (ReplChoice{N: 3, P: 2}) {
+				t.Fatalf("choices round-trip: %+v", out)
+			}
+		case RespReplRecords:
+			if out.RecLSN != 17 || len(out.Records) != 2 || !bytes.Equal(out.Records[0], rec) {
+				t.Fatalf("records round-trip: %+v", out)
+			}
+		case RespReplFin:
+			if out.NChoices != 40 || out.NRecords != 19 || out.StoreHash != "deadbeef" ||
+				!bytes.Equal(out.Metrics, metrics) {
+				t.Fatalf("fin round-trip: %+v", out)
+			}
+		}
 	}
 }

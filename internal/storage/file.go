@@ -259,7 +259,7 @@ func (s *File) Append(r *Record) (LSN, error) {
 	if s.closed {
 		return 0, errors.New("storage: append on closed backend")
 	}
-	body := encodeRecord(s.buf[:0], r)
+	body := EncodeRecord(s.buf[:0], r)
 	s.buf = body[:0]
 	s.frame = wm.AppendFrame(s.frame[:0], body)
 	if _, err := s.bw.Write(s.frame); err != nil {
@@ -472,9 +472,12 @@ func (s *File) Close() error {
 
 // --- segment record codec ---
 
-// encodeRecord appends the segment encoding of a record to b: rule,
-// instantiation key, WME fingerprints, then the delta.
-func encodeRecord(b []byte, r *Record) []byte {
+// EncodeRecord appends the canonical binary encoding of a record to b:
+// rule, instantiation key, WME fingerprints, then the delta. The same
+// encoding frames the File backend's segments and the replication
+// stream, so a byte comparison of encoded records is a comparison of
+// everything a commit durably means (DecodeRecord is the inverse).
+func EncodeRecord(b []byte, r *Record) []byte {
 	b = appendString(b, r.Rule)
 	b = appendString(b, r.Inst)
 	b = appendU64(b, uint64(len(r.WMEs)))

@@ -35,7 +35,7 @@ func snapshotBytes(t *testing.T, s *wm.Store) []byte {
 func TestRecordCodecRoundTrip(t *testing.T) {
 	live := wm.NewStore()
 	r := mkRecord(t, live, "move", "part", 7)
-	body := encodeRecord(nil, r)
+	body := EncodeRecord(nil, r)
 	got, err := DecodeRecord(body)
 	if err != nil {
 		t.Fatal(err)

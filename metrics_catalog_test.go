@@ -1,0 +1,106 @@
+package pdps_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// registeredMetricFamilies walks every non-test source file under
+// internal/ and collects the first-argument string literal of each
+// Counter/Gauge/Histogram registration call. All registrations in the
+// tree use literal names, so this is the exhaustive family set.
+func registeredMetricFamilies(t *testing.T) map[string]string {
+	t.Helper()
+	families := make(map[string]string) // name -> file
+	fset := token.NewFileSet()
+	err := filepath.Walk("internal", func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") ||
+			strings.HasSuffix(path, "_test.go") {
+			return err
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil || name == "" {
+				return true
+			}
+			families[name] = path
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return families
+}
+
+// TestMetricCatalogCovers keeps docs/OBSERVABILITY.md's catalog and
+// the code in lockstep, both ways: every metric family registered
+// anywhere under internal/ must have a catalog row, and every
+// backticked family in a catalog row must still exist in the code —
+// no undocumented series, no stale rows.
+func TestMetricCatalogCovers(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Catalog rows are table lines whose first cell holds one or more
+	// backticked `family{labels}` names.
+	documented := make(map[string]bool)
+	name := regexp.MustCompile("`([a-z][a-z0-9_]*)[{}`]")
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cell := line[1:]
+		if i := strings.Index(cell, "|"); i >= 0 {
+			cell = cell[:i]
+		}
+		for _, m := range name.FindAllStringSubmatch(cell, -1) {
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) < 40 {
+		t.Fatalf("parsed only %d catalog rows from docs/OBSERVABILITY.md — parser or doc broke", len(documented))
+	}
+
+	registered := registeredMetricFamilies(t)
+	for fam, file := range registered {
+		if !documented[fam] {
+			t.Errorf("metric family %q (registered in %s) has no catalog row in docs/OBSERVABILITY.md", fam, file)
+		}
+	}
+	for fam := range documented {
+		if _, ok := registered[fam]; !ok {
+			t.Errorf("docs/OBSERVABILITY.md documents %q but no code under internal/ registers it (stale row?)", fam)
+		}
+	}
+}
