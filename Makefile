@@ -56,24 +56,31 @@ bench:
 # fails the build even though no timing is collected. The E18 sweep
 # rides along: the hybrid consistency layer's experiment must keep
 # producing consistent traces under elision, escalation and batching.
+# E21 likewise: the cost-based Rete experiment self-checks conflict-set
+# sizes and firing counts on every shape it measures.
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/psbench -experiment e18
+	$(GO) run ./cmd/psbench -experiment e21
 
-# bench-compare measures the E18-tracked benchmarks on the working tree
+# bench-compare measures the tracked benchmarks on the working tree
 # against BASE (default: merge-base with main) and prints a
 # benchstat-style table via cmd/psbenchdiff. Artifacts land in
 # bench-artifacts/. COUNT repeats each benchmark so psbenchdiff can
-# take per-row medians.
-BASE  ?= $(shell git merge-base HEAD main 2>/dev/null || echo HEAD~1)
-COUNT ?= 5
+# take per-row medians. BenchmarkJoinDepth/BenchmarkChurn guard the
+# Rete planner's ±5% bound on well-ordered programs (E21): the chain
+# is already optimal, so the planner must keep source order and
+# match the base network's time.
+BASE   ?= $(shell git merge-base HEAD main 2>/dev/null || echo HEAD~1)
+COUNT  ?= 5
+BENCHES = BenchmarkHybridElision|BenchmarkParallelLowConflict|BenchmarkJoinDepth|BenchmarkChurn
 bench-compare:
 	mkdir -p bench-artifacts
-	$(GO) test ./internal/engine/ -run NONE -bench "BenchmarkHybridElision|BenchmarkParallelLowConflict" \
+	$(GO) test ./internal/engine/ ./internal/rete/ -run NONE -bench "$(BENCHES)" \
 		-benchtime 20x -count $(COUNT) | tee bench-artifacts/new.txt
 	git worktree add -f bench-artifacts/base $(BASE)
-	-cd bench-artifacts/base && $(GO) test ./internal/engine/ -run NONE \
-		-bench "BenchmarkHybridElision|BenchmarkParallelLowConflict" -benchtime 20x -count $(COUNT) \
+	-cd bench-artifacts/base && $(GO) test ./internal/engine/ ./internal/rete/ -run NONE \
+		-bench "$(BENCHES)" -benchtime 20x -count $(COUNT) \
 		| tee ../old.txt
 	git worktree remove --force bench-artifacts/base
 	$(GO) run ./cmd/psbenchdiff bench-artifacts/old.txt bench-artifacts/new.txt \

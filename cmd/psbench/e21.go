@@ -1,0 +1,328 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pdps"
+)
+
+// misorderedRule is the JoinHeavyMisordered rule shape: two wide
+// reference classes listed first, the selective pattern and the task
+// last — the adversarial source order the static planner must fix.
+func misorderedRule() *pdps.Rule {
+	kv := func() []pdps.AttrTest {
+		return []pdps.AttrTest{{Attr: "k", Op: pdps.OpEq, Var: "x"}}
+	}
+	return &pdps.Rule{
+		Name: "finish",
+		Conditions: []pdps.Condition{
+			{Class: "wide0", Tests: kv()},
+			{Class: "wide1", Tests: kv()},
+			{Class: "sel", Tests: []pdps.AttrTest{
+				{Attr: "hot", Op: pdps.OpEq, Const: pdps.Bool(true)},
+				{Attr: "k", Op: pdps.OpEq, Var: "x"},
+			}},
+			{Class: "task", Tests: []pdps.AttrTest{
+				{Attr: "k", Op: pdps.OpEq, Var: "x"},
+				{Attr: "done", Op: pdps.OpEq, Const: pdps.Bool(false)},
+			}},
+		},
+		Actions: []pdps.Action{{Kind: pdps.ActHalt}},
+	}
+}
+
+// skewedRule is the JoinHeavySkewed rule shape: statically
+// indistinguishable join classes whose run-time cardinalities are
+// wildly different — only live observations can order them.
+func skewedRule() *pdps.Rule {
+	kv := func() []pdps.AttrTest {
+		return []pdps.AttrTest{{Attr: "k", Op: pdps.OpEq, Var: "x"}}
+	}
+	return &pdps.Rule{
+		Name: "finish",
+		Conditions: []pdps.Condition{
+			{Class: "task", Tests: []pdps.AttrTest{
+				{Attr: "k", Op: pdps.OpEq, Var: "x"},
+				{Attr: "done", Op: pdps.OpEq, Const: pdps.Bool(false)},
+			}},
+			{Class: "big0", Tests: kv()},
+			{Class: "big1", Tests: kv()},
+			{Class: "tiny", Tests: kv()},
+		},
+		Actions: []pdps.Action{{Kind: pdps.ActHalt}},
+	}
+}
+
+// e21 measures cost-based Rete compilation. Part (i) is the headline:
+// the misordered join shape at growing memory sizes, source-order
+// compilation ("rete-src", the PR 4 network) against the cost planner
+// ("rete"). Build is dominated by the keys×width² intermediate beta
+// memory the source order materialises and the plan avoids; churn
+// inserts wide0 tuples, which the source order must speculatively join
+// through wide1 (O(width) tokens each) while the planned chain, with
+// the selective patterns first, answers from an empty bucket. Part
+// (ii) shows beta-prefix sharing across rules with a common reordered
+// prefix. Part (iii) is adaptive replanning on the statically
+// indistinguishable skewed shape: the static plan is bad on both
+// networks, and only the adaptive one escapes it mid-run. Part (iv)
+// pins the regression bound: an already well-ordered chain must
+// compile identically and run within noise of rete-src.
+func e21() {
+	if *retePlan {
+		dumpPlans()
+	}
+	const width = 8
+	fmt.Printf("  (i) adversarially-ordered join (width=%d, hot=1/16; build + 2000-insert churn, best of 3):\n", width)
+	fmt.Printf("  %-8s %2s %12s %12s %7s %2s %12s %12s %7s\n",
+		"keys", "", "build:src", "build:plan", "ratio", "", "churn:src", "churn:plan", "ratio")
+	buildMis := func(n *pdps.ReteNetwork, keys int) *pdps.Store {
+		if err := n.AddRule(misorderedRule()); err != nil {
+			log.Fatal(err)
+		}
+		s := pdps.NewStore()
+		for k := 0; k < keys; k++ {
+			n.Insert(s.Insert("task", map[string]pdps.Value{"k": pdps.Int(int64(k)), "done": pdps.Bool(false)}))
+			for c := 0; c < width; c++ {
+				n.Insert(s.Insert("wide0", map[string]pdps.Value{"k": pdps.Int(int64(k)), "v": pdps.Int(int64(c))}))
+				n.Insert(s.Insert("wide1", map[string]pdps.Value{"k": pdps.Int(int64(k)), "v": pdps.Int(int64(c))}))
+			}
+			if k%16 == 0 {
+				n.Insert(s.Insert("sel", map[string]pdps.Value{"k": pdps.Int(int64(k)), "hot": pdps.Bool(true)}))
+			}
+		}
+		return s
+	}
+	const churnIters = 2000
+	misRun := func(mk func() *pdps.ReteNetwork, keys int) (build, churn time.Duration) {
+		n := mk()
+		start := time.Now()
+		s := buildMis(n, keys)
+		build = time.Since(start)
+		base := n.ConflictSet().Len()
+		if want := (keys + 15) / 16 * width * width; base != want {
+			log.Fatalf("e21(i): conflict set = %d, want %d", base, want)
+		}
+		start = time.Now()
+		for i := 0; i < churnIters; i++ {
+			k := int64(i%keys | 1) // odd keys: never hot, the common case
+			w := s.Insert("wide0", map[string]pdps.Value{"k": pdps.Int(k), "v": pdps.Int(-1)})
+			n.Insert(w)
+			n.Remove(w)
+		}
+		churn = time.Since(start)
+		if n.ConflictSet().Len() != base {
+			log.Fatal("e21(i): churn leaked instantiations")
+		}
+		return build, churn
+	}
+	for _, keys := range []int{64, 256, 1024} {
+		srcB, srcC := time.Duration(1<<62), time.Duration(1<<62)
+		plnB, plnC := time.Duration(1<<62), time.Duration(1<<62)
+		for rep := 0; rep < 3; rep++ {
+			if b, c := misRun(pdps.NewSourceOrderReteNetwork, keys); true {
+				srcB, srcC = min(srcB, b), min(srcC, c)
+			}
+			if b, c := misRun(pdps.NewReteNetwork, keys); true {
+				plnB, plnC = min(plnB, b), min(plnC, c)
+			}
+		}
+		fmt.Printf("  %-8d %2s %12v %12v %6.2fx %2s %12v %12v %6.2fx\n",
+			keys, "",
+			srcB.Round(time.Microsecond), plnB.Round(time.Microsecond), float64(srcB)/float64(plnB), "",
+			srcC.Round(time.Microsecond), plnC.Round(time.Microsecond), float64(srcC)/float64(plnC))
+	}
+
+	fmt.Println("  (ii) beta-prefix sharing (8 rules, common 3-deep reordered prefix):")
+	shareRules := func() []*pdps.Rule {
+		var rules []*pdps.Rule
+		for i := 0; i < 8; i++ {
+			r := chainRule(3)
+			r.Name = fmt.Sprintf("chain%d", i)
+			r.Conditions = append(r.Conditions, pdps.Condition{
+				Class: fmt.Sprintf("leaf%d", i),
+				Tests: []pdps.AttrTest{{Attr: "k", Op: pdps.OpEq, Var: "x"}},
+			})
+			rules = append(rules, r)
+		}
+		return rules
+	}
+	shareRun := func(mk func() *pdps.ReteNetwork) (*pdps.ReteNetwork, time.Duration) {
+		n := mk()
+		for _, r := range shareRules() {
+			if err := n.AddRule(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		s := pdps.NewStore()
+		start := time.Now()
+		for k := 0; k < 512; k++ {
+			for c := 0; c < 3; c++ {
+				n.Insert(s.Insert(fmt.Sprintf("c%d", c), map[string]pdps.Value{"k": pdps.Int(int64(k))}))
+			}
+		}
+		for i := 0; i < churnIters; i++ {
+			w := s.Insert("c0", map[string]pdps.Value{"k": pdps.Int(int64(i % 512))})
+			n.Insert(w)
+			n.Remove(w)
+		}
+		return n, time.Since(start)
+	}
+	fmt.Printf("  %-10s %10s %10s %12s %14s\n", "network", "joins", "betamems", "shared-beta", "load+churn")
+	for _, row := range []struct {
+		name string
+		mk   func() *pdps.ReteNetwork
+	}{{"rete-src", pdps.NewSourceOrderReteNetwork}, {"rete", pdps.NewReteNetwork}} {
+		best := time.Duration(1 << 62)
+		var topo *pdps.ReteNetwork
+		for rep := 0; rep < 3; rep++ {
+			n, d := shareRun(row.mk)
+			if d < best {
+				best = d
+			}
+			topo = n
+		}
+		t := topo.Topology()
+		fmt.Printf("  %-10s %10d %10d %12d %14v\n", row.name, t.JoinNodes, t.MemNodes, t.SharedBeta, best.Round(time.Microsecond))
+	}
+
+	fmt.Printf("  (iii) run-time skew (width=%d, tiny=1/16): static plans tie, adaptive escapes:\n", width)
+	skewRun := func(mk func() *pdps.ReteNetwork) (time.Duration, int64) {
+		const keys = 512
+		n := mk()
+		if err := n.AddRule(skewedRule()); err != nil {
+			log.Fatal(err)
+		}
+		s := pdps.NewStore()
+		for k := 0; k < keys; k++ {
+			for c := 0; c < width; c++ {
+				n.Insert(s.Insert("big0", map[string]pdps.Value{"k": pdps.Int(int64(k)), "v": pdps.Int(int64(c))}))
+				n.Insert(s.Insert("big1", map[string]pdps.Value{"k": pdps.Int(int64(k)), "v": pdps.Int(int64(c))}))
+			}
+			if k%16 == 0 {
+				n.Insert(s.Insert("tiny", map[string]pdps.Value{"k": pdps.Int(int64(k))}))
+			}
+		}
+		start := time.Now()
+		for i := 0; i < churnIters; i++ {
+			w := s.Insert("task", map[string]pdps.Value{"k": pdps.Int(int64(i%keys | 1)), "done": pdps.Bool(false)})
+			n.Insert(w)
+			n.ConflictSet() // the adaptive safe point
+			n.Remove(w)
+		}
+		return time.Since(start), n.Replans()
+	}
+	adaptive := func() *pdps.ReteNetwork {
+		n := pdps.NewReteNetwork()
+		n.SetAdaptive(true)
+		return n
+	}
+	fmt.Printf("  %-14s %14s %9s\n", "network", "churn", "replans")
+	for _, row := range []struct {
+		name string
+		mk   func() *pdps.ReteNetwork
+	}{{"rete-src", pdps.NewSourceOrderReteNetwork}, {"rete", pdps.NewReteNetwork}, {"rete+adaptive", adaptive}} {
+		best, replans := time.Duration(1<<62), int64(0)
+		for rep := 0; rep < 3; rep++ {
+			d, r := skewRun(row.mk)
+			if d < best {
+				best = d
+			}
+			replans = r
+		}
+		fmt.Printf("  %-14s %14v %9d\n", row.name, best.Round(time.Microsecond), replans)
+	}
+
+	fmt.Println("  (iv) well-ordered guard (JoinHeavy chain, planner must keep source order):")
+	guard := func(mk func() *pdps.ReteNetwork, keys int) time.Duration {
+		n := mk()
+		if err := n.AddRule(chainRule(4)); err != nil {
+			log.Fatal(err)
+		}
+		s := pdps.NewStore()
+		for k := 0; k < keys; k++ {
+			for l := 1; l < 4; l++ {
+				n.Insert(s.Insert(fmt.Sprintf("c%d", l), map[string]pdps.Value{"k": pdps.Int(int64(k))}))
+			}
+		}
+		// Parts (i)-(iii) leave the heap large and trending; without a
+		// collection here a GC cycle lands inside some timed loops and
+		// not others, which at ~10ms per loop dwarfs the real difference.
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < churnIters; i++ {
+			w := s.Insert("c0", map[string]pdps.Value{"k": pdps.Int(int64(i % keys))})
+			n.Insert(w)
+			if n.ConflictSet().Len() != 1 {
+				log.Fatal("e21(iv): chain did not match")
+			}
+			n.Remove(w)
+		}
+		return time.Since(start)
+	}
+	fmt.Printf("  %-8s %14s %14s %8s\n", "keys", "rete-src", "rete", "ratio")
+	for _, keys := range []int{256, 1024} {
+		srcT, plnT := time.Duration(1<<62), time.Duration(1<<62)
+		// Alternate the measurement order across reps so allocator and
+		// frequency drift cannot systematically favour either side.
+		for rep := 0; rep < 6; rep++ {
+			if rep%2 == 0 {
+				srcT = min(srcT, guard(pdps.NewSourceOrderReteNetwork, keys))
+				plnT = min(plnT, guard(pdps.NewReteNetwork, keys))
+			} else {
+				plnT = min(plnT, guard(pdps.NewReteNetwork, keys))
+				srcT = min(srcT, guard(pdps.NewSourceOrderReteNetwork, keys))
+			}
+		}
+		fmt.Printf("  %-8d %14v %14v %7.2fx\n", keys,
+			srcT.Round(time.Microsecond), plnT.Round(time.Microsecond), float64(srcT)/float64(plnT))
+	}
+
+	// A live-engine pass over the misordered workload for the CI metric
+	// artifact: the planned network's probe/scan counters document where
+	// the speedup comes from.
+	fmt.Println("  (v) live engine on JoinHeavyMisordered(256, 8):")
+	fmt.Printf("  %-10s %12s %9s %10s %10s\n", "matcher", "elapsed", "firings", "probes", "scanned")
+	for _, matcher := range []string{"rete-src", "rete"} {
+		prog := pdps.JoinHeavyMisordered(256, 8)
+		eng, err := pdps.NewSingleEngine(prog, pdps.Options{Matcher: matcher})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := eng.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if want := 256 / 16; res.Firings != want {
+			log.Fatalf("%s: firings = %d, want %d", matcher, res.Firings, want)
+		}
+		snap := eng.Metrics().Snapshot()
+		fmt.Printf("  %-10s %12v %9d %10d %10d\n", matcher, elapsed.Round(time.Microsecond), res.Firings,
+			snap.Counter("rete_index_probes_total"), snap.Counter("rete_scan_candidates_total"))
+		dumpMetrics("e21", matcher, eng)
+	}
+}
+
+// dumpPlans prints the compiled join plans of the E21 rule shapes
+// (-rete-plan): source order on the left, the cost plan on the right.
+func dumpPlans() {
+	fmt.Println("  compiled plans (-rete-plan):")
+	for _, row := range []struct {
+		name string
+		r    *pdps.Rule
+	}{{"misordered", misorderedRule()}, {"skewed", skewedRule()}, {"well-ordered", chainRule(4)}} {
+		src, pln := pdps.NewSourceOrderReteNetwork(), pdps.NewReteNetwork()
+		if err := src.AddRule(row.r); err != nil {
+			log.Fatal(err)
+		}
+		if err := pln.AddRule(row.r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-12s src  %s\n", row.name, src.Plans()[0])
+		fmt.Printf("    %-12s plan %s\n", "", pln.Plans()[0])
+	}
+}

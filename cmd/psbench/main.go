@@ -6,7 +6,7 @@
 // plus the factor sweeps of Section 5. Its output is the source of
 // EXPERIMENTS.md.
 //
-// Usage: psbench [-experiment all|e1|e2|...|e19] [-seeds N]
+// Usage: psbench [-experiment all|e1|e2|...|e21] [-seeds N]
 //
 // With -cpuprofile/-memprofile, a pprof CPU profile is recorded over
 // the selected experiments and a heap profile is written on exit, so
@@ -42,6 +42,7 @@ var (
 	metricsDir = flag.String("metrics-dir", "", "write each live run's full metric snapshot as JSON into this directory")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	retePlan   = flag.Bool("rete-plan", false, "dump the compiled Rete join plans alongside the E21 results")
 )
 
 // dumpMetrics reports one live run's registry-derived figures and, with
@@ -96,7 +97,7 @@ func dumpMetrics(id, run string, eng pdps.Engine) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psbench: ")
-	which := flag.String("experiment", "all", "experiment id (e1..e19) or all")
+	which := flag.String("experiment", "all", "experiment id (e1..e21) or all")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -133,6 +134,7 @@ func main() {
 		{"e17", "§2 — indexed match network and sharded delta pipeline", e17},
 		{"e18", "§4 — hybrid consistency: lock elision, class locks, group commit", e18},
 		{"e19", "§6 — durability tax and group-commit fsync amortization", e19},
+		{"e21", "§2 — cost-based Rete compilation: join planning, beta sharing, adaptive replan", e21},
 	}
 
 	ran := false

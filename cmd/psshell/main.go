@@ -99,6 +99,7 @@ func (sh *shell) exec(out *os.File, line string) error {
   wm                 list working memory
   cs                 list the conflict set
   rules              list rule names
+  plan               show each rule's compiled join order and cost
   assert (class ^a v ...)   add a tuple
   retract <id>       remove a tuple by ID
   step               fire one production (LEX selection)
@@ -118,6 +119,23 @@ func (sh *shell) exec(out *os.File, line string) error {
 	case "rules":
 		for _, r := range sh.prog.Rules {
 			fmt.Fprintf(out, "  %s (%d CEs, %d actions)\n", r.Name, len(r.Conditions), len(r.Actions))
+		}
+	case "plan":
+		// Compile the program's rules into fresh networks so the plans
+		// reflect current compilation, whatever matcher the session runs:
+		// source order on the left, the cost plan on the right.
+		src, pln := pdps.NewSourceOrderReteNetwork(), pdps.NewReteNetwork()
+		for _, r := range sh.prog.Rules {
+			if err := src.AddRule(r); err != nil {
+				return err
+			}
+			if err := pln.AddRule(r); err != nil {
+				return err
+			}
+		}
+		srcPlans, plnPlans := src.Plans(), pln.Plans()
+		for i := range plnPlans {
+			fmt.Fprintf(out, "  src:  %s\n  plan: %s\n", srcPlans[i], plnPlans[i])
 		}
 	case "assert":
 		return sh.session.Assert(rest)

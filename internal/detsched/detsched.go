@@ -46,6 +46,10 @@ type Config struct {
 	// MatchShards, when above 1, shards the matcher for intra-phase
 	// match parallelism (engine.Options.MatchShards).
 	MatchShards int
+	// AdaptiveRete enables live replanning in the rete matcher
+	// (engine.Options.AdaptiveRete). Replans happen at conflict-set
+	// refreshes from deterministic inputs, so replay reproduces them.
+	AdaptiveRete bool
 	// Deadlock is the lock manager's deadlock policy.
 	Deadlock lock.DeadlockPolicy
 	// Abort is the Rc-victim policy.
@@ -103,6 +107,9 @@ func (c Config) String() string {
 	}
 	s := fmt.Sprintf("scheme=%s np=%d matcher=%s deadlock=%s abort=%s",
 		c.Scheme, c.np(), m, c.Deadlock, c.Abort)
+	if c.AdaptiveRete {
+		s += " adaptive=on"
+	}
 	if c.Elide {
 		s += " elide=on"
 	}
@@ -164,6 +171,7 @@ func RunUnder(p engine.Program, cfg Config, ctl *sched.Det) RunOutcome {
 	opts := engine.Options{
 		Matcher:        cfg.Matcher,
 		MatchShards:    cfg.MatchShards,
+		AdaptiveRete:   cfg.AdaptiveRete,
 		Np:             cfg.np(),
 		Deadlock:       cfg.Deadlock,
 		AbortPolicy:    cfg.Abort,

@@ -206,6 +206,12 @@ func Fuzz(cfg FuzzConfig) (*Violation, FuzzStats) {
 			c.Escalation = 2
 			c.CommitBatch = 3
 		}
+		// Adaptive-replan axis: rete programs alternate with live
+		// replanning on, so mid-run chain swaps face the trace oracle
+		// and the metamorphic commit-count invariant too.
+		if c.Matcher == "rete" && pi%2 == 0 {
+			c.AdaptiveRete = true
+		}
 		for si := 0; si < cfg.seedsPer(); si++ {
 			seed := rng.Int63()
 			st.Runs++

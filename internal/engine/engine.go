@@ -66,10 +66,19 @@ func (p AbortPolicy) String() string {
 // Options configures an engine. The zero value selects Rete matching,
 // the LEX strategy, and a 10000-firing safety bound.
 type Options struct {
-	// Matcher selects the match algorithm: "rete" (default), "treat",
-	// "naive", or "rete-linear" (Rete without hashed memories — the
-	// unindexed baseline kept for experiments and oracle checks).
+	// Matcher selects the match algorithm: "rete" (default: hashed
+	// memories, cost-ordered joins and beta-prefix sharing), "treat",
+	// "naive", "rete-src" (Rete compiling joins in rule-source order —
+	// the pre-planner network kept for the E21 experiments), or
+	// "rete-linear" (Rete without hashed memories — the unindexed
+	// baseline kept for experiments and oracle checks).
 	Matcher string
+	// AdaptiveRete enables live replanning in the "rete" matcher: at
+	// each conflict-set refresh the network compares every rule's plan
+	// cost under observed cardinalities and fanouts against the best
+	// alternative, and recompiles chains that fall behind by the
+	// threshold (DESIGN.md §15). Deterministic under detsched replay.
+	AdaptiveRete bool
 	// MatchShards, when above 1, enables intra-phase match parallelism
 	// (Section 2): rules are partitioned across that many matcher
 	// shards whose updates run concurrently.
@@ -214,9 +223,11 @@ type Result struct {
 }
 
 // newMatcher builds the selected matcher, optionally sharded for
-// intra-phase match parallelism.
-func newMatcher(name string, shards int) (match.Matcher, error) {
-	factory, err := matcherFactory(name)
+// intra-phase match parallelism. adaptive enables live replanning and
+// only applies to "rete"; under sharding every shard's network
+// replans independently (each rule lives in exactly one shard).
+func newMatcher(name string, shards int, adaptive bool) (match.Matcher, error) {
+	factory, err := matcherFactory(name, adaptive)
 	if err != nil {
 		return nil, err
 	}
@@ -226,10 +237,16 @@ func newMatcher(name string, shards int) (match.Matcher, error) {
 	return factory(), nil
 }
 
-func matcherFactory(name string) (func() match.Matcher, error) {
+func matcherFactory(name string, adaptive bool) (func() match.Matcher, error) {
 	switch name {
 	case "rete":
-		return func() match.Matcher { return rete.New() }, nil
+		return func() match.Matcher {
+			n := rete.New()
+			n.SetAdaptive(adaptive)
+			return n
+		}, nil
+	case "rete-src":
+		return func() match.Matcher { return rete.NewSourceOrder() }, nil
 	case "rete-linear":
 		return func() match.Matcher { return rete.NewLinear() }, nil
 	case "treat":
@@ -245,7 +262,7 @@ func matcherFactory(name string) (func() match.Matcher, error) {
 // metrics registry before the first insert, so even the initial load
 // is observable.
 func load(p Program, o Options) (*wm.Store, match.Matcher, error) {
-	inner, err := newMatcher(o.Matcher, o.MatchShards)
+	inner, err := newMatcher(o.Matcher, o.MatchShards, o.AdaptiveRete)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -104,7 +104,7 @@ func (s *Session) LoadSnapshot(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	inner, err := newMatcher(s.rt.opts.Matcher, s.rt.opts.MatchShards)
+	inner, err := newMatcher(s.rt.opts.Matcher, s.rt.opts.MatchShards, s.rt.opts.AdaptiveRete)
 	if err != nil {
 		return err
 	}

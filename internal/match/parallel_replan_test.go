@@ -1,0 +1,124 @@
+// Package match_test (external) so the test can drive the sharded
+// wrapper with real rete networks — rete imports match, so an
+// in-package test would be an import cycle.
+package match_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pdps/internal/match"
+	"pdps/internal/rete"
+	"pdps/internal/wm"
+)
+
+// TestShardedAdaptiveReplanMerge checks the journal contract between
+// the sharded merge and adaptive Rete chain swaps: each shard replans
+// inside its own ConflictSet goroutine, journaling a remove+add pair
+// per live instantiation, and the merged set — with its own journal
+// tracked, as the Parallel engine's refresh does — must come out
+// identical to a naive matcher's, with no spurious journal traffic
+// from swaps that change nothing.
+func TestShardedAdaptiveReplanMerge(t *testing.T) {
+	var nets []*rete.Network
+	sharded := match.NewSharded(3, func() match.Matcher {
+		n := rete.New()
+		n.SetAdaptive(true)
+		n.SetAdaptiveParams(1.01, 1)
+		nets = append(nets, n)
+		return n
+	})
+	naive := match.NewNaive()
+	// Three rules (one per shard) over skewed classes: every rule joins
+	// a big class before a tiny one in source order, so live replans
+	// flip each shard's plan mid-run.
+	for i := 0; i < 3; i++ {
+		r := &match.Rule{
+			Name: fmt.Sprintf("r%d", i),
+			Conditions: []match.Condition{
+				{Class: fmt.Sprintf("big%d", i), Tests: []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}},
+				{Class: fmt.Sprintf("tiny%d", i), Tests: []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}},
+			},
+			Actions: []match.Action{{Kind: match.ActHalt}},
+		}
+		for _, m := range []match.Matcher{sharded, naive} {
+			if err := m.AddRule(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sharded.TrackChanges(true)
+	merged := sharded.ConflictSet()
+
+	s := wm.NewStore()
+	var ws []*wm.WME
+	add := func(class string, k int) {
+		w := s.Insert(class, map[string]wm.Value{"k": wm.Int(int64(k))})
+		ws = append(ws, w)
+		sharded.Insert(w)
+		naive.Insert(w)
+	}
+	check := func(stage string) {
+		t.Helper()
+		got, want := sharded.ConflictSet(), naive.ConflictSet()
+		if got != merged {
+			t.Fatalf("%s: merged set identity changed", stage)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: sharded=%d naive=%d", stage, got.Len(), want.Len())
+		}
+		for _, in := range want.All() {
+			if !got.Contains(in.Key()) {
+				t.Fatalf("%s: merged set missing %v", stage, in)
+			}
+		}
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3; i++ {
+			for k := 0; k < 24; k++ {
+				add(fmt.Sprintf("big%d", i), k)
+			}
+			if round%2 == 0 {
+				add(fmt.Sprintf("tiny%d", i), round)
+			}
+		}
+		check(fmt.Sprintf("round %d insert", round))
+		// Journal must be consumable by an engine-style reader without
+		// replan remove+add pairs leaking through as net changes.
+		added, removed := merged.TakeChanges()
+		for _, k := range removed {
+			if merged.Contains(k) {
+				t.Fatalf("round %d: journal removed %s but the merged set still has it", round, k)
+			}
+		}
+		for _, in := range added {
+			if !merged.Contains(in.Key()) {
+				t.Fatalf("round %d: journal added %v but the merged set lacks it", round, in)
+			}
+		}
+		// Retract some of the oldest WMEs through whatever plans are live.
+		cut := len(ws) / 4
+		for _, w := range ws[:cut] {
+			sharded.Remove(w)
+			naive.Remove(w)
+		}
+		ws = append([]*wm.WME(nil), ws[cut:]...)
+		check(fmt.Sprintf("round %d remove", round))
+		merged.TakeChanges()
+	}
+	var replans int64
+	for _, n := range nets {
+		replans += n.Replans()
+	}
+	if replans == 0 {
+		t.Fatal("no shard replanned; the merge contract went unexercised")
+	}
+	for _, w := range ws {
+		sharded.Remove(w)
+		naive.Remove(w)
+	}
+	check("drain")
+	if merged.Len() != 0 {
+		t.Fatalf("drained: %d instantiations remain", merged.Len())
+	}
+}

@@ -118,6 +118,71 @@ func BenchmarkJoinDepth(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanMisordered is the cost planner's acceptance shape
+// (E21): a rule whose source order lists two wide reference classes
+// before the selective pattern and the task. Source-order compilation
+// ("src") joins every insert through the wide cross first; the
+// planned network ("planned") hoists the selective CE and answers
+// cold keys from an empty bucket.
+func BenchmarkPlanMisordered(b *testing.B) {
+	const keys, width = 256, 8
+	kv := func() []match.AttrTest {
+		return []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}
+	}
+	rule := &match.Rule{
+		Name: "finish",
+		Conditions: []match.Condition{
+			{Class: "wide0", Tests: kv()},
+			{Class: "wide1", Tests: kv()},
+			{Class: "sel", Tests: []match.AttrTest{
+				{Attr: "hot", Op: match.OpEq, Const: wm.Bool(true)},
+				{Attr: "k", Op: match.OpEq, Var: "x"},
+			}},
+			{Class: "task", Tests: []match.AttrTest{
+				{Attr: "k", Op: match.OpEq, Var: "x"},
+				{Attr: "done", Op: match.OpEq, Const: wm.Bool(false)},
+			}},
+		},
+		Actions: []match.Action{{Kind: match.ActHalt}},
+	}
+	for _, v := range []struct {
+		name string
+		mk   func() *Network
+	}{
+		{"planned", New},
+		{"src", NewSourceOrder},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			n := v.mk()
+			if err := n.AddRule(rule); err != nil {
+				b.Fatal(err)
+			}
+			s := wm.NewStore()
+			for k := 0; k < keys; k++ {
+				n.Insert(s.Insert("task", map[string]wm.Value{"k": wm.Int(int64(k)), "done": wm.Bool(false)}))
+				for c := 0; c < width; c++ {
+					n.Insert(s.Insert("wide0", map[string]wm.Value{"k": wm.Int(int64(k)), "v": wm.Int(int64(c))}))
+					n.Insert(s.Insert("wide1", map[string]wm.Value{"k": wm.Int(int64(k)), "v": wm.Int(int64(c))}))
+				}
+				if k%16 == 0 {
+					n.Insert(s.Insert("sel", map[string]wm.Value{"k": wm.Int(int64(k)), "hot": wm.Bool(true)}))
+				}
+			}
+			base := n.ConflictSet().Len()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := s.Insert("wide0", map[string]wm.Value{"k": wm.Int(int64(i%keys | 1)), "v": wm.Int(-1)})
+				n.Insert(w)
+				n.Remove(w)
+			}
+			b.StopTimer()
+			if n.ConflictSet().Len() != base {
+				b.Fatal("churn leaked instantiations")
+			}
+		})
+	}
+}
+
 // BenchmarkAddRuleSeeding measures late rule addition against a
 // populated working memory (the update-from-above path).
 func BenchmarkAddRuleSeeding(b *testing.B) {

@@ -25,8 +25,54 @@ type intraTest struct {
 	attrB string // the attribute the variable was bound from
 }
 
+// compiledCE is one condition element's tests classified relative to a
+// particular placement: consts and intras evaluate in the alpha
+// network, joins reference earlier chain levels, presence tests back
+// the variable bindings this CE introduces.
+type compiledCE struct {
+	cond     match.Condition
+	consts   []match.AttrTest
+	intras   []intraTest
+	joins    []joinTest
+	presence []string
+}
+
+// classifyCE splits a CE's tests given the binding positions of the
+// already-placed levels. i is the CE's chain level; bound is updated
+// with the variables this CE binds (the first OpEq occurrence binds —
+// Validate guarantees that occurrence sits in a positive CE).
+func classifyCE(c match.Condition, i int, bound map[string]bindingPos) compiledCE {
+	cc := compiledCE{cond: c}
+	for _, t := range c.Tests {
+		switch {
+		case !t.IsVar():
+			cc.consts = append(cc.consts, t)
+		default:
+			pos, isBound := bound[t.Var]
+			switch {
+			case isBound && pos.level == i:
+				cc.intras = append(cc.intras, intraTest{op: t.Op, attrA: t.Attr, attrB: pos.attr})
+			case isBound:
+				cc.joins = append(cc.joins, joinTest{
+					op:        t.Op,
+					ownAttr:   t.Attr,
+					levelsUp:  (i - 1) - pos.level,
+					otherAttr: pos.attr,
+				})
+			default:
+				bound[t.Var] = bindingPos{level: i, attr: t.Attr}
+				cc.presence = append(cc.presence, t.Attr)
+			}
+		}
+	}
+	return cc
+}
+
 // AddRule validates and compiles a rule into the network. Rules may be
 // added after WMEs; the new nodes are seeded with existing matches.
+// With planning enabled the condition elements are reordered by the
+// static cost model (cost.go) before compilation; the emitted
+// instantiations are independent of the chosen order.
 func (n *Network) AddRule(r *match.Rule) error {
 	if err := r.Validate(); err != nil {
 		return err
@@ -34,94 +80,139 @@ func (n *Network) AddRule(r *match.Rule) error {
 	if _, dup := n.rules[r.Name]; dup {
 		return errorf("duplicate rule %s", r.Name)
 	}
+	order, cost := n.planRule(r)
+	n.chains[r.Name] = n.compileChain(r, order, cost)
+	n.rules[r.Name] = r
+	n.updatePlanGauges()
+	return nil
+}
 
-	prod := &prodNode{
-		net:       n,
-		rule:      r,
-		numLevels: len(r.Conditions),
-		positive:  make([]bool, len(r.Conditions)),
-		bindings:  make(map[string]bindingPos),
+// compileChain builds the rule's node chain in the given condition
+// order (order[level] = original CE index). Beta-prefix sharing: when
+// the network allows it, a level whose structural prefix (alpha
+// pattern, negation and join tests of every level up to it) equals an
+// existing rule's prefix reuses that rule's join/memory nodes instead
+// of building and seeding new ones. The final positive join is always
+// exclusive — it feeds this rule's production directly.
+func (n *Network) compileChain(r *match.Rule, order []int, cost float64) *ruleChain {
+	m := len(order)
+	prod := &prodNode{net: n, rule: r, numLevels: m, bindings: make(map[string]bindingPos)}
+	rc := &ruleChain{r: r, order: order, cost: cost, prod: prod}
+
+	// Classify tests level by level in plan order: variables bind at
+	// their first OpEq occurrence along the plan, so join tests always
+	// reference earlier levels of the reordered chain.
+	bound := make(map[string]bindingPos)
+	ces := make([]compiledCE, m)
+	for lvl, orig := range order {
+		ces[lvl] = classifyCE(r.Conditions[orig], lvl, bound)
 	}
+
+	// Reordering must be invisible in emitted instantiations: WMEs are
+	// listed in the rule's source positive-CE order (action CE indices
+	// and instantiation keys depend on it), and each variable reads its
+	// value from the CE that binds it in SOURCE order — an equality
+	// join only guarantees a Value.Equal match at other levels, and
+	// Equal is kind-insensitive (Int(3) vs Float(3)) while rendered
+	// bindings are not.
+	planLevel := make([]int, m)
+	for lvl, orig := range order {
+		planLevel[orig] = lvl
+	}
+	srcBound := make(map[string]bindingPos)
 	for i, c := range r.Conditions {
-		prod.positive[i] = !c.Negated
+		classifyCE(c, i, srcBound) // only the binding side-effect is needed
+		if !c.Negated {
+			prod.wmeOrder = append(prod.wmeOrder, planLevel[i])
+		}
+	}
+	for v, pos := range srcBound {
+		prod.bindings[v] = bindingPos{level: planLevel[pos.level], attr: pos.attr}
 	}
 
-	// bound is shared with the production node so that seeding during
-	// compilation (rules added after WMEs) sees the final positions.
-	bound := prod.bindings
 	var source betaSource = n.top
-	last := len(r.Conditions) - 1
+	prefix := ""
+	for lvl, cc := range ces {
+		amem := n.alphaMemFor(cc.cond.Class, cc.consts, cc.intras, cc.presence)
+		prefix += levelSig(cc.cond.Negated, amem.key, cc.joins)
+		last := lvl == m-1
 
-	for i, c := range r.Conditions {
-		var consts []match.AttrTest
-		var intras []intraTest
-		var joins []joinTest
-		var presence []string
-		for _, t := range c.Tests {
-			switch {
-			case !t.IsVar():
-				consts = append(consts, t)
-			default:
-				pos, isBound := bound[t.Var]
-				switch {
-				case isBound && pos.level == i:
-					intras = append(intras, intraTest{op: t.Op, attrA: t.Attr, attrB: pos.attr})
-				case isBound:
-					joins = append(joins, joinTest{
-						op:        t.Op,
-						ownAttr:   t.Attr,
-						levelsUp:  (i - 1) - pos.level,
-						otherAttr: pos.attr,
-					})
-				default:
-					// Validate() guarantees: OpEq, positive CE. Binding
-					// requires the attribute to be present on the WME.
-					bound[t.Var] = bindingPos{level: i, attr: t.Attr}
-					presence = append(presence, t.Attr)
+		if cc.cond.Negated {
+			bl := n.betaLevels[prefix]
+			if bl == nil {
+				neg := newNegNode(n, amem, cc.joins)
+				source.addChildSink(neg)
+				amem.successors = append(amem.successors, neg)
+				for _, t := range source.validTokens() {
+					neg.onToken(t)
+				}
+				bl = &betaLevel{key: prefix, parent: source, neg: neg}
+				if n.sharing {
+					n.betaLevels[prefix] = bl
 				}
 			}
-		}
-		amem := n.alphaMemFor(c.Class, consts, intras, presence)
-
-		if c.Negated {
-			neg := newNegNode(n, amem, joins)
-			source.addChildSink(neg)
-			amem.successors = append(amem.successors, neg)
-			for _, t := range source.validTokens() {
-				neg.onToken(t)
-			}
-			source = neg
-			if i == last {
+			bl.refs++
+			rc.levels = append(rc.levels, bl)
+			source = bl.neg
+			if last {
 				prod.viaToken = true
-				neg.addChildSink(prod)
-				for _, t := range neg.validTokens() {
+				bl.neg.addChildSink(prod)
+				for _, t := range bl.neg.validTokens() {
 					prod.onToken(t)
 				}
 			}
 			continue
 		}
 
-		var out pairSink
-		var nextMem *memNode
-		if i == last {
-			out = prod
-		} else {
-			nextMem = &memNode{net: n}
-			out = nextMem
+		if last {
+			join := newJoinNode(n, source, amem, cc.joins, prod)
+			source.addChildSink(join)
+			amem.successors = append(amem.successors, join)
+			for _, t := range source.validTokens() {
+				join.onToken(t)
+			}
+			rc.lastJoin = join
+			rc.lastParent = source
+			continue
 		}
-		join := newJoinNode(n, source, amem, joins, out)
-		source.addChildSink(join)
-		amem.successors = append(amem.successors, join)
-		for _, t := range source.validTokens() {
-			join.onToken(t)
-		}
-		if nextMem != nil {
-			source = nextMem
-		}
-	}
 
-	n.rules[r.Name] = r
-	return nil
+		bl := n.betaLevels[prefix]
+		if bl == nil {
+			mem := &memNode{net: n}
+			join := newJoinNode(n, source, amem, cc.joins, mem)
+			source.addChildSink(join)
+			amem.successors = append(amem.successors, join)
+			for _, t := range source.validTokens() {
+				join.onToken(t)
+			}
+			bl = &betaLevel{key: prefix, parent: source, join: join, mem: mem}
+			if n.sharing {
+				n.betaLevels[prefix] = bl
+			}
+		}
+		bl.refs++
+		rc.levels = append(rc.levels, bl)
+		source = bl.mem
+	}
+	return rc
+}
+
+// levelSig renders one level's structural signature for beta-prefix
+// sharing: negation, the alpha pattern, and the full join-test list
+// (levelsUp included — tests must point at identical chain shapes).
+func levelSig(negated bool, amemKey string, joins []joinTest) string {
+	var b strings.Builder
+	if negated {
+		b.WriteByte('~')
+	} else {
+		b.WriteByte('+')
+	}
+	b.WriteString(amemKey)
+	for _, jt := range joins {
+		fmt.Fprintf(&b, "\x01%s %s %d %s", jt.ownAttr, jt.op, jt.levelsUp, jt.otherAttr)
+	}
+	b.WriteByte('\x02')
+	return b.String()
 }
 
 // alphaMemFor returns the shared alpha memory for the pattern,

@@ -15,6 +15,7 @@ type Topology struct {
 	MemNodes   int
 	ProdNodes  int
 	SharedAlph int // alpha memories feeding more than one successor
+	SharedBeta int // beta levels referenced by more than one rule
 }
 
 // Topology walks the network and counts its nodes.
@@ -72,6 +73,11 @@ func (n *Network) Topology() Topology {
 	for _, am := range n.alphaByKey {
 		if len(am.successors) > 1 {
 			t.SharedAlph++
+		}
+	}
+	for _, bl := range n.betaLevels {
+		if bl.refs > 1 {
+			t.SharedBeta++
 		}
 	}
 	return t

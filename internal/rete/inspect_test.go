@@ -27,26 +27,44 @@ func TestTopologyAndSharing(t *testing.T) {
 	if err := n.AddRule(mk("r2")); err != nil {
 		t.Fatal(err)
 	}
+	// The planner orders each rule (a, ¬c, b): the negation's expected
+	// survivors undercut b's unconstrained join. Both rules share the
+	// whole (a, ¬c) prefix; only the final b join is per-rule.
 	top := n.Topology()
 	if top.AlphaMems != 3 {
 		t.Fatalf("alpha mems = %d, want 3 (shared)", top.AlphaMems)
 	}
-	if top.SharedAlph != 3 {
-		t.Fatalf("shared alphas = %d, want 3", top.SharedAlph)
+	if top.SharedAlph != 1 { // b's alpha feeds both rules' final joins
+		t.Fatalf("shared alphas = %d, want 1", top.SharedAlph)
 	}
 	if top.ProdNodes != 2 {
 		t.Fatalf("prod nodes = %d, want 2", top.ProdNodes)
 	}
-	if top.NegNodes != 2 {
-		t.Fatalf("neg nodes = %d, want 2", top.NegNodes)
+	if top.NegNodes != 1 { // shared ¬c level
+		t.Fatalf("neg nodes = %d, want 1", top.NegNodes)
 	}
-	if top.JoinNodes != 4 { // two per rule (two positive CEs each)
-		t.Fatalf("join nodes = %d, want 4", top.JoinNodes)
+	if top.JoinNodes != 3 { // shared a join + one exclusive b join per rule
+		t.Fatalf("join nodes = %d, want 3", top.JoinNodes)
 	}
-	// top mem + two beta mems per rule (each positive CE's join feeds
-	// one, since the final CE is the negated one).
-	if top.MemNodes != 5 {
-		t.Fatalf("mem nodes = %d, want 5", top.MemNodes)
+	if top.MemNodes != 2 { // top mem + shared a beta mem
+		t.Fatalf("mem nodes = %d, want 2", top.MemNodes)
+	}
+	if top.SharedBeta != 2 { // the a level and the ¬c level
+		t.Fatalf("shared betas = %d, want 2", top.SharedBeta)
+	}
+
+	// Source-order compilation without sharing keeps the PR 4 shape:
+	// two joins and two beta mems per rule, nothing shared below alpha.
+	src := NewSourceOrder()
+	if err := src.AddRule(mk("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddRule(mk("r2")); err != nil {
+		t.Fatal(err)
+	}
+	stop := src.Topology()
+	if stop.JoinNodes != 4 || stop.NegNodes != 2 || stop.MemNodes != 5 || stop.SharedBeta != 0 {
+		t.Fatalf("source-order topology = %+v", stop)
 	}
 }
 

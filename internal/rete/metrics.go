@@ -15,27 +15,47 @@ type netMetrics struct {
 	// node has no equality test), and scanned the candidates examined.
 	scans   *obs.Counter
 	scanned *obs.Counter
+	// replans counts adaptive chain recompiles; sharedBeta and planCost
+	// gauge the compiled network (beta levels referenced by more than
+	// one rule, and the summed estimated plan cost).
+	replans    *obs.Counter
+	sharedBeta *obs.Gauge
+	planCost   *obs.Gauge
 }
 
 // SetMetrics wires the network's index/scan counters into the
 // registry. Call before inserting WMEs to observe the initial load.
 func (n *Network) SetMetrics(reg *obs.Registry) {
 	n.met = &netMetrics{
-		probes:  reg.Counter("rete_index_probes_total"),
-		bucket:  reg.Histogram("rete_index_bucket_size", "candidates"),
-		scans:   reg.Counter("rete_index_scans_total"),
-		scanned: reg.Counter("rete_scan_candidates_total"),
+		probes:     reg.Counter("rete_index_probes_total"),
+		bucket:     reg.Histogram("rete_index_bucket_size", "candidates"),
+		scans:      reg.Counter("rete_index_scans_total"),
+		scanned:    reg.Counter("rete_scan_candidates_total"),
+		replans:    reg.Counter("rete_replan_total"),
+		sharedBeta: reg.Gauge("rete_shared_beta"),
+		planCost:   reg.Gauge("rete_plan_cost"),
 	}
+	n.updatePlanGauges()
 }
 
-func (n *Network) metProbe(bucketLen int) {
+// metProbe records an indexed activation on the node's own statistics
+// (feeding the live cost estimator), the network's work accumulator
+// (the adaptive-replan trigger), and the obs registry.
+func (n *Network) metProbe(s *joinStats, bucketLen int) {
+	s.probes++
+	s.cands += int64(bucketLen)
+	n.obsWork += int64(bucketLen) + 1
 	if n.met != nil {
 		n.met.probes.Inc()
 		n.met.bucket.Observe(int64(bucketLen))
 	}
 }
 
-func (n *Network) metScan(candidates int) {
+// metScan is metProbe's linear-scan counterpart.
+func (n *Network) metScan(s *joinStats, candidates int) {
+	s.probes++
+	s.cands += int64(candidates)
+	n.obsWork += int64(candidates) + 1
 	if n.met != nil {
 		n.met.scans.Inc()
 		n.met.scanned.Add(int64(candidates))

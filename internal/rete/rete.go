@@ -110,6 +110,15 @@ type alphaMem struct {
 	successors []alphaSink
 }
 
+func (am *alphaMem) removeSuccessor(s alphaSink) {
+	for i, x := range am.successors {
+		if x == s {
+			am.successors = append(am.successors[:i], am.successors[i+1:]...)
+			return
+		}
+	}
+}
+
 // memNode is a beta memory: it stores the tokens of one positive
 // condition-element level.
 type memNode struct {
@@ -144,12 +153,26 @@ func (m *memNode) removeToken(t *token) {
 
 // betaSource is the upstream of a join node: a beta memory (all tokens
 // valid) or a negative node (tokens with no join results are valid).
+// removeChildSink detaches a downstream node — chain teardown during
+// adaptive replanning (plan.go) unhooks retired nodes through it.
 type betaSource interface {
 	validTokens() []*token
 	addChildSink(s tokenSink)
+	removeChildSink(s tokenSink)
 }
 
 func (m *memNode) addChildSink(s tokenSink) { m.children = append(m.children, s) }
+
+func (m *memNode) removeChildSink(s tokenSink) { m.children = removeSink(m.children, s) }
+
+func removeSink(list []tokenSink, s tokenSink) []tokenSink {
+	for i, x := range list {
+		if x == s {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
 
 // joinNode joins its parent's tokens with its alpha memory's WMEs.
 // When the join has equality tests (eq non-empty) both sides are kept
@@ -166,6 +189,15 @@ type joinNode struct {
 	left  map[string][]*token  // parent tokens by token-side key
 	right map[string][]*wm.WME // alpha WMEs by WME-side key
 	kbuf  []byte               // reusable key scratch; activations are single-threaded per network
+	stats joinStats            // observed activations, feeds the live cost estimator
+}
+
+// joinStats is a node's observed activation record: probes (or scans)
+// and the candidates they examined. The ratio is the node's measured
+// fanout — the live estimator's per-join cardinality signal.
+type joinStats struct {
+	probes int64
+	cands  int64
 }
 
 // newJoinNode builds a join over the already-populated alpha memory,
@@ -186,7 +218,7 @@ func newJoinNode(net *Network, parent betaSource, amem *alphaMem, tests []joinTe
 
 func (j *joinNode) onToken(t *token) {
 	if len(j.eq) == 0 {
-		j.net.metScan(len(j.amem.items))
+		j.net.metScan(&j.stats, len(j.amem.items))
 		for w := range j.amem.items {
 			if runTests(j.tests, t, w) {
 				j.out.receive(t, w)
@@ -203,7 +235,7 @@ func (j *joinNode) onToken(t *token) {
 	}
 	j.left[string(key)] = append(j.left[string(key)], t)
 	bucket := j.right[string(key)]
-	j.net.metProbe(len(bucket))
+	j.net.metProbe(&j.stats, len(bucket))
 	for _, w := range bucket {
 		if runTests(j.tests, t, w) {
 			j.out.receive(t, w)
@@ -225,7 +257,7 @@ func (j *joinNode) onTokenGone(t *token) {
 func (j *joinNode) rightActivate(w *wm.WME) {
 	if len(j.eq) == 0 {
 		vts := j.parent.validTokens()
-		j.net.metScan(len(vts))
+		j.net.metScan(&j.stats, len(vts))
 		for _, t := range vts {
 			if runTests(j.tests, t, w) {
 				j.out.receive(t, w)
@@ -240,7 +272,7 @@ func (j *joinNode) rightActivate(w *wm.WME) {
 	}
 	j.right[string(key)] = append(j.right[string(key)], w)
 	bucket := j.left[string(key)]
-	j.net.metProbe(len(bucket))
+	j.net.metProbe(&j.stats, len(bucket))
 	for _, t := range bucket {
 		if runTests(j.tests, t, w) {
 			j.out.receive(t, w)
@@ -276,6 +308,7 @@ type negNode struct {
 	left  map[string][]*token  // owned tokens by parent-chain key
 	right map[string][]*wm.WME // alpha WMEs by WME-side key
 	kbuf  []byte               // reusable key scratch; activations are single-threaded per network
+	stats joinStats            // observed activations, feeds the live cost estimator
 }
 
 // newNegNode builds a negative node over the already-populated alpha
@@ -304,6 +337,8 @@ func (n *negNode) validTokens() []*token {
 
 func (n *negNode) addChildSink(s tokenSink) { n.children = append(n.children, s) }
 
+func (n *negNode) removeChildSink(s tokenSink) { n.children = removeSink(n.children, s) }
+
 func (n *negNode) onToken(parent *token) {
 	t := &token{parent: parent, node: n, joinResults: make(map[*wm.WME]bool)}
 	parent.addChild(t)
@@ -316,7 +351,7 @@ func (n *negNode) onToken(parent *token) {
 		if ok {
 			n.left[string(key)] = append(n.left[string(key)], t)
 			bucket := n.right[string(key)]
-			n.net.metProbe(len(bucket))
+			n.net.metProbe(&n.stats, len(bucket))
 			for _, w := range bucket {
 				if runTests(n.tests, parent, w) {
 					t.joinResults[w] = true
@@ -328,7 +363,7 @@ func (n *negNode) onToken(parent *token) {
 		// the negated CE under this token — it stays valid forever and
 		// needs no index entry.
 	} else {
-		n.net.metScan(len(n.amem.items))
+		n.net.metScan(&n.stats, len(n.amem.items))
 		for w := range n.amem.items {
 			if runTests(n.tests, parent, w) {
 				t.joinResults[w] = true
@@ -353,10 +388,10 @@ func (n *negNode) rightActivate(w *wm.WME) {
 		}
 		n.right[string(key)] = append(n.right[string(key)], w)
 		candidates = n.left[string(key)]
-		n.net.metProbe(len(candidates))
+		n.net.metProbe(&n.stats, len(candidates))
 	} else {
 		candidates = n.items
-		n.net.metScan(len(candidates))
+		n.net.metScan(&n.stats, len(candidates))
 	}
 	for _, t := range candidates {
 		if !runTests(n.tests, t.parent, w) {
@@ -420,8 +455,11 @@ type prodNode struct {
 	net       *Network
 	rule      *match.Rule
 	numLevels int
-	positive  []bool // per chain level; positive levels carry the CE's WME
-	bindings  map[string]bindingPos
+	// wmeOrder maps instantiation WME slots (the rule's positive CEs in
+	// source order — action CE indices and instantiation keys depend on
+	// that order) to chain plan levels.
+	wmeOrder []int
+	bindings map[string]bindingPos
 	// viaToken is true when the last CE is negated: this node is
 	// left-activated with the final token instead of a (token, WME) pair.
 	viaToken bool
@@ -458,11 +496,9 @@ func (p *prodNode) activateToken(t *token, bookkeepingLevel bool) {
 		}
 		cur = cur.parent
 	}
-	var wmes []*wm.WME
-	for i, pos := range p.positive {
-		if pos {
-			wmes = append(wmes, chain[i].w)
-		}
+	wmes := make([]*wm.WME, len(p.wmeOrder))
+	for i, lvl := range p.wmeOrder {
+		wmes[i] = chain[lvl].w
 	}
 	b := make(match.Bindings, len(p.bindings))
 	for v, pos := range p.bindings {
@@ -488,11 +524,43 @@ type Network struct {
 	// indexing selects hashed memories for joins with equality tests;
 	// it must be set before AddRule (join nodes capture it at compile).
 	indexing bool
-	met      *netMetrics
+	// planning reorders condition elements by the static cost model
+	// (cost.go); sharing caches structurally-equal beta prefixes across
+	// rules (compile.go). Both must be set before AddRule.
+	planning bool
+	sharing  bool
+	// adaptive enables replanning at the ConflictSet safe point; see
+	// plan.go for the protocol and the two trigger parameters.
+	adaptive       bool
+	adaptThreshold float64
+	adaptMinWork   int64
+
+	classCount  map[string]int        // live WMEs per class, for the live estimator
+	betaLevels  map[string]*betaLevel // shared beta prefixes by structural key
+	chains      map[string]*ruleChain // compiled chain per rule
+	foldedStats map[string]*joinStats // banked stats of retired nodes
+	obsWork     int64                 // cumulative activation work (probes + candidates)
+	lastEval    int64                 // obsWork at the last replan evaluation
+	replanCount int64
+
+	met *netMetrics
 }
 
-// New returns an empty network with hashed memories enabled.
+// New returns an empty network with hashed memories, cost-based
+// condition ordering and beta-prefix sharing enabled.
 func New() *Network {
+	n := newNetwork()
+	n.indexing = true
+	n.planning = true
+	n.sharing = true
+	return n
+}
+
+// NewSourceOrder returns an indexed network that compiles joins in
+// rule-source order without beta sharing — the PR 4 network. It is the
+// before-side of the join-planning experiments (E21) and the
+// "rete-src" engine matcher.
+func NewSourceOrder() *Network {
 	n := newNetwork()
 	n.indexing = true
 	return n
@@ -513,6 +581,13 @@ func newNetwork() *Network {
 		wmes:         make(map[*wm.WME]bool),
 		tokensByWME:  make(map[*wm.WME][]*token),
 		jrOwners:     make(map[*wm.WME][]*token),
+		classCount:   make(map[string]int),
+		betaLevels:   make(map[string]*betaLevel),
+		chains:       make(map[string]*ruleChain),
+		foldedStats:  make(map[string]*joinStats),
+
+		adaptThreshold: 2.0,
+		adaptMinWork:   4096,
 	}
 	n.top = &memNode{net: n}
 	n.dummy = &token{node: n.top}
@@ -530,8 +605,15 @@ func (n *Network) registerJoinResult(owner *token, w *wm.WME) {
 	n.jrOwners[w] = append(n.jrOwners[w], owner)
 }
 
-// ConflictSet returns the live conflict set.
-func (n *Network) ConflictSet() *match.ConflictSet { return n.cs }
+// ConflictSet returns the live conflict set. This is the adaptive
+// replan safe point: no propagation is in flight, so the network may
+// swap a rule's compiled chain here (see plan.go).
+func (n *Network) ConflictSet() *match.ConflictSet {
+	if n.adaptive {
+		n.maybeReplan()
+	}
+	return n.cs
+}
 
 // TrackChanges enables membership journaling on the live conflict set,
 // which this network maintains incrementally.
@@ -543,6 +625,7 @@ func (n *Network) Insert(w *wm.WME) {
 		return
 	}
 	n.wmes[w] = true
+	n.classCount[w.Class]++
 	for _, am := range n.alphaByClass[w.Class] {
 		if am.pred(w) {
 			am.items[w] = true
@@ -560,6 +643,10 @@ func (n *Network) Remove(w *wm.WME) {
 		return
 	}
 	delete(n.wmes, w)
+	n.classCount[w.Class]--
+	if n.classCount[w.Class] == 0 {
+		delete(n.classCount, w.Class)
+	}
 	for _, am := range n.alphaByClass[w.Class] {
 		if am.items[w] {
 			delete(am.items, w)
@@ -646,6 +733,7 @@ type Stats struct {
 	WMEs      int
 	Rules     int
 	Insts     int
+	Replans   int
 }
 
 // Stats returns current network statistics.
@@ -655,6 +743,7 @@ func (n *Network) Stats() Stats {
 		WMEs:      len(n.wmes),
 		Rules:     len(n.rules),
 		Insts:     n.cs.Len(),
+		Replans:   int(n.replanCount),
 	}
 }
 

@@ -253,6 +253,90 @@ func JoinHeavy(keys, depth int) engine.Program {
 	return p
 }
 
+// JoinHeavyMisordered is JoinHeavy with an adversarial source order:
+// the rule lists `width`-tuples-per-key wide reference classes first,
+// then a constant-selective `sel` class (one tuple per 16th key), and
+// the task pattern last. Compiled in source order the chain builds
+// keys×width-scale intermediate beta memories before the selective
+// patterns prune anything; the static cost planner reorders it to lead
+// with sel and task. Firings: keys/16 (the hot keys).
+func JoinHeavyMisordered(keys, width int) engine.Program {
+	kv := func() []match.AttrTest {
+		return []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}
+	}
+	finish := &match.Rule{
+		Name: "finish",
+		Conditions: []match.Condition{
+			{Class: "wide0", Tests: kv()},
+			{Class: "wide1", Tests: kv()},
+			{Class: "sel", Tests: []match.AttrTest{
+				{Attr: "hot", Op: match.OpEq, Const: wm.Bool(true)},
+				{Attr: "k", Op: match.OpEq, Var: "x"},
+			}},
+			{Class: "task", Tests: []match.AttrTest{
+				{Attr: "k", Op: match.OpEq, Var: "x"},
+				{Attr: "done", Op: match.OpEq, Const: wm.Bool(false)},
+			}},
+		},
+		Actions: []match.Action{{Kind: match.ActModify, CE: 3, Assigns: []match.AttrAssign{
+			{Attr: "done", Expr: match.ConstExpr{Val: wm.Bool(true)}},
+		}}},
+	}
+	p := engine.Program{Rules: []*match.Rule{finish}}
+	for i := 0; i < keys; i++ {
+		p.WMEs = append(p.WMEs, engine.InitialWME{Class: "task", Attrs: attrs("k", i, "done", false)})
+		for c := 0; c < width; c++ {
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: "wide0", Attrs: attrs("k", i, "v", c)})
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: "wide1", Attrs: attrs("k", i, "v", c)})
+		}
+		if i%16 == 0 {
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: "sel", Attrs: attrs("k", i, "hot", true)})
+		}
+	}
+	return p
+}
+
+// JoinHeavySkewed is the adaptive-replan workload: the rule's classes
+// look statically interchangeable (no constant tests on the join
+// classes, so the compile-time planner keeps task first and the big
+// classes before tiny), but at run time big0/big1 hold `width` tuples
+// per key while tiny holds one tuple per `sparsity` keys. Only live
+// cardinalities reveal that tiny should join right after task —
+// exactly what `Options.AdaptiveRete` discovers. Firings:
+// keys/sparsity.
+func JoinHeavySkewed(keys, width, sparsity int) engine.Program {
+	kv := func() []match.AttrTest {
+		return []match.AttrTest{{Attr: "k", Op: match.OpEq, Var: "x"}}
+	}
+	finish := &match.Rule{
+		Name: "finish",
+		Conditions: []match.Condition{
+			{Class: "task", Tests: []match.AttrTest{
+				{Attr: "k", Op: match.OpEq, Var: "x"},
+				{Attr: "done", Op: match.OpEq, Const: wm.Bool(false)},
+			}},
+			{Class: "big0", Tests: kv()},
+			{Class: "big1", Tests: kv()},
+			{Class: "tiny", Tests: kv()},
+		},
+		Actions: []match.Action{{Kind: match.ActModify, CE: 0, Assigns: []match.AttrAssign{
+			{Attr: "done", Expr: match.ConstExpr{Val: wm.Bool(true)}},
+		}}},
+	}
+	p := engine.Program{Rules: []*match.Rule{finish}}
+	for i := 0; i < keys; i++ {
+		p.WMEs = append(p.WMEs, engine.InitialWME{Class: "task", Attrs: attrs("k", i, "done", false)})
+		for c := 0; c < width; c++ {
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: "big0", Attrs: attrs("k", i, "v", c)})
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: "big1", Attrs: attrs("k", i, "v", c)})
+		}
+		if i%sparsity == 0 {
+			p.WMEs = append(p.WMEs, engine.InitialWME{Class: "tiny", Attrs: attrs("k", i)})
+		}
+	}
+	return p
+}
+
 // SharedCounter builds the high-conflict variant of Pipeline: every
 // stage advance also increments one shared tally tuple, so all firings
 // write-conflict on it. Firings: parts×stages; final tally equals that

@@ -468,9 +468,13 @@ type RWSet = match.RWSet
 // RuleRWSet computes a rule's static read/write sets (Section 4.1).
 var RuleRWSet = match.RuleRWSet
 
-// ReteNetwork is a compiled Rete match network (topology and Dot
-// rendering are exposed for analysis tooling).
+// ReteNetwork is a compiled Rete match network (topology, Dot
+// rendering and join plans are exposed for analysis tooling).
 type ReteNetwork = rete.Network
+
+// RetePlan is one rule's compiled join order with its sharing and
+// cost diagnostics (ReteNetwork.Plans).
+type RetePlan = rete.RulePlan
 
 // Matcher is the incremental match interface every engine drives.
 type Matcher = match.Matcher
@@ -478,8 +482,13 @@ type Matcher = match.Matcher
 // Matcher construction (for match-phase experiments; engines normally
 // select a matcher by name via Options.Matcher).
 var (
-	// NewReteNetwork returns an empty hashed-memory Rete network.
+	// NewReteNetwork returns an empty hashed-memory Rete network with
+	// cost-ordered joins and beta-prefix sharing.
 	NewReteNetwork = rete.New
+	// NewSourceOrderReteNetwork returns the indexed network compiling
+	// joins in rule-source order (the before-side of the E21 planning
+	// experiment).
+	NewSourceOrderReteNetwork = rete.NewSourceOrder
 	// NewLinearReteNetwork returns the unindexed baseline Rete network
 	// (the before-side of the E17 indexing experiment).
 	NewLinearReteNetwork = rete.NewLinear
@@ -539,6 +548,12 @@ var (
 	SharedCounter = workload.SharedCounter
 	// JoinHeavy generates the match-bound deep-join workload.
 	JoinHeavy = workload.JoinHeavy
+	// JoinHeavyMisordered generates the adversarially-ordered join
+	// workload the static planner fixes (E21).
+	JoinHeavyMisordered = workload.JoinHeavyMisordered
+	// JoinHeavySkewed generates the run-time-skewed join workload only
+	// adaptive replanning fixes (E21).
+	JoinHeavySkewed = workload.JoinHeavySkewed
 	// Independent generates the pairwise non-interfering counter
 	// workload — the elision-friendly extreme of the hybrid scheme.
 	Independent = workload.Independent
