@@ -57,11 +57,14 @@ bench:
 # rides along: the hybrid consistency layer's experiment must keep
 # producing consistent traces under elision, escalation and batching.
 # E21 likewise: the cost-based Rete experiment self-checks conflict-set
-# sizes and firing counts on every shape it measures.
+# sizes and firing counts on every shape it measures, and E22 the
+# shared alpha discrimination network (match parity between the routed
+# and linear networks, firing counts, GC book-keeping).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/psbench -experiment e18
 	$(GO) run ./cmd/psbench -experiment e21
+	$(GO) run ./cmd/psbench -experiment e22
 
 # bench-compare measures the tracked benchmarks on the working tree
 # against BASE (default: merge-base with main) and prints a
@@ -70,18 +73,27 @@ bench-smoke:
 # take per-row medians. BenchmarkJoinDepth/BenchmarkChurn guard the
 # Rete planner's ±5% bound on well-ordered programs (E21): the chain
 # is already optimal, so the planner must keep source order and
-# match the base network's time.
+# match the base network's time. BenchmarkAlphaFanout tracks the
+# shared alpha discrimination network (E22). The rete-network
+# JoinDepth/Churn rows are additionally held to a hard per-row bound:
+# the alpha routing layer sits on the assert path of every join
+# benchmark, so a >10% regression on either row fails the compare
+# loudly even when the geomean stays healthy. (Only the rete rows are
+# gated — the treat/naive rows in the same benchmarks don't run this
+# code and would only contribute noise flakes.)
 BASE   ?= $(shell git merge-base HEAD main 2>/dev/null || echo HEAD~1)
 COUNT  ?= 5
-BENCHES = BenchmarkHybridElision|BenchmarkParallelLowConflict|BenchmarkJoinDepth|BenchmarkChurn
+BENCHES = BenchmarkHybridElision|BenchmarkParallelLowConflict|BenchmarkJoinDepth|BenchmarkChurn|BenchmarkAlphaFanout
 bench-compare:
 	mkdir -p bench-artifacts
 	$(GO) test ./internal/engine/ ./internal/rete/ -run NONE -bench "$(BENCHES)" \
-		-benchtime 20x -count $(COUNT) | tee bench-artifacts/new.txt
+		-benchtime 100x -count $(COUNT) | tee bench-artifacts/new.txt
 	git worktree add -f bench-artifacts/base $(BASE)
 	-cd bench-artifacts/base && $(GO) test ./internal/engine/ ./internal/rete/ -run NONE \
-		-bench "$(BENCHES)" -benchtime 20x -count $(COUNT) \
+		-bench "$(BENCHES)" -benchtime 100x -count $(COUNT) \
 		| tee ../old.txt
 	git worktree remove --force bench-artifacts/base
-	$(GO) run ./cmd/psbenchdiff bench-artifacts/old.txt bench-artifacts/new.txt \
-		| tee bench-artifacts/diff.txt
+	$(GO) run ./cmd/psbenchdiff -fail-row 'JoinDepth/indexed|JoinDepth/linear|Churn/rete' -fail-row-over 10 \
+		bench-artifacts/old.txt bench-artifacts/new.txt \
+		> bench-artifacts/diff.txt; status=$$?; \
+		cat bench-artifacts/diff.txt; exit $$status

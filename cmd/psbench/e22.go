@@ -1,0 +1,189 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"pdps"
+)
+
+// fanoutRuleSet is the ManyRulesFanout rule shape at network level:
+// nRules single-CE rules over one event class, each testing a category
+// (shared by nRules/16 rules), a priority band and a live flag (shared
+// by all). Every test is a hash-routable equality constant, so the
+// discrimination network answers an assert with one probe per
+// attribute regardless of nRules, while the linear alpha walk
+// re-evaluates all nRules predicate closures.
+func fanoutRuleSet(nRules int) []*pdps.Rule {
+	cats := 16
+	if nRules < cats {
+		cats = nRules
+	}
+	rules := make([]*pdps.Rule, nRules)
+	for r := range rules {
+		rules[r] = &pdps.Rule{
+			Name: fmt.Sprintf("fan%d", r),
+			Conditions: []pdps.Condition{{
+				Class: "event",
+				Tests: []pdps.AttrTest{
+					{Attr: "cat", Op: pdps.OpEq, Const: pdps.Int(int64(r % cats))},
+					{Attr: "pri", Op: pdps.OpEq, Const: pdps.Int(int64(r / cats))},
+					{Attr: "live", Op: pdps.OpEq, Const: pdps.Bool(true)},
+				},
+			}},
+			Actions: []pdps.Action{{Kind: pdps.ActRemove, CE: 0}},
+		}
+	}
+	return rules
+}
+
+// fanoutPool pre-builds the churn events: every fourth is hot (owned
+// by exactly one rule), the rest are cold — a priority band no rule
+// tests, the common case a production system's alpha network must
+// reject cheaply.
+func fanoutPool(s *pdps.Store, nRules int) []*pdps.WME {
+	events := make([]*pdps.WME, 64)
+	for i := range events {
+		if i%4 == 0 {
+			r := i % nRules
+			events[i] = s.Insert("event", map[string]pdps.Value{
+				"cat": pdps.Int(int64(r % 16)), "pri": pdps.Int(int64(r / 16)), "live": pdps.Bool(true)})
+			continue
+		}
+		events[i] = s.Insert("event", map[string]pdps.Value{
+			"cat": pdps.Int(int64(i % 16)), "pri": pdps.Int(int64(nRules)), "live": pdps.Bool(true)})
+	}
+	return events
+}
+
+// e22 measures the shared alpha discrimination network. Part (i) is
+// the headline: assert/retract churn through R single-CE rules,
+// linear alpha walk against hash-routed discrimination — the linear
+// cost grows with R, the routed cost does not. Part (ii) reports the
+// cross-rule factoring (distinct test nodes versus R×3 naive test
+// slots). Part (iii) removes rules and shows the GC shrinking the
+// structures and the assert path back down. Part (iv) runs the live
+// engine over ManyRulesFanout for the CI metrics artifact: the
+// rete_alpha_* counters document where the speedup comes from.
+func e22() {
+	const churnIters = 2000
+	fmt.Println("  (i) alpha assert churn (64-event pool, 3/4 cold; best of 3):")
+	fmt.Printf("  %-8s %14s %14s %8s\n", "rules", "rete-linear", "rete", "ratio")
+	churn := func(mk func() *pdps.ReteNetwork, nRules int) (*pdps.ReteNetwork, time.Duration) {
+		n := mk()
+		for _, r := range fanoutRuleSet(nRules) {
+			if err := n.AddRule(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		events := fanoutPool(pdps.NewStore(), nRules)
+		n.Insert(events[0])
+		if n.ConflictSet().Len() != 1 {
+			log.Fatal("e22(i): hot event did not match its rule")
+		}
+		n.Remove(events[0])
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < churnIters; i++ {
+			w := events[i%len(events)]
+			n.Insert(w)
+			n.Remove(w)
+		}
+		elapsed := time.Since(start)
+		if n.ConflictSet().Len() != 0 {
+			log.Fatal("e22(i): churn leaked instantiations")
+		}
+		return n, elapsed
+	}
+	for _, nRules := range []int{16, 64, 256} {
+		linT, discT := time.Duration(1<<62), time.Duration(1<<62)
+		for rep := 0; rep < 6; rep++ {
+			// Alternate order so allocator and frequency drift cannot
+			// systematically favour either side.
+			if rep%2 == 0 {
+				_, d := churn(pdps.NewLinearReteNetwork, nRules)
+				linT = min(linT, d)
+				_, d = churn(pdps.NewReteNetwork, nRules)
+				discT = min(discT, d)
+			} else {
+				_, d := churn(pdps.NewReteNetwork, nRules)
+				discT = min(discT, d)
+				_, d = churn(pdps.NewLinearReteNetwork, nRules)
+				linT = min(linT, d)
+			}
+		}
+		fmt.Printf("  %-8d %14v %14v %7.2fx\n", nRules,
+			linT.Round(time.Microsecond), discT.Round(time.Microsecond), float64(linT)/float64(discT))
+	}
+
+	fmt.Println("  (ii) cross-rule factoring (R rules x 3 constant tests each):")
+	fmt.Printf("  %-8s %10s %12s %12s %12s\n", "rules", "alphamems", "disc-nodes", "shared", "routed-attrs")
+	for _, nRules := range []int{16, 64, 256} {
+		n := pdps.NewReteNetwork()
+		for _, r := range fanoutRuleSet(nRules) {
+			if err := n.AddRule(r); err != nil {
+				log.Fatal(err)
+			}
+		}
+		t := n.Topology()
+		fmt.Printf("  %-8d %10d %12d %12d %12d\n", nRules,
+			t.AlphaMems, t.AlphaDiscNodes, t.SharedAlphaNodes, t.AlphaRoutedAttrs)
+	}
+
+	fmt.Println("  (iii) rule removal GC (256 rules -> 64; churn re-measured after GC):")
+	{
+		n, full := churn(pdps.NewReteNetwork, 256)
+		before := n.Topology()
+		rules := fanoutRuleSet(256)
+		for _, r := range rules[64:] {
+			if err := n.RemoveRule(r.Name); err != nil {
+				log.Fatal(err)
+			}
+		}
+		after := n.Topology()
+		if after.AlphaMems != 64 {
+			log.Fatalf("e22(iii): %d alpha memories survive 192 rule removals, want 64", after.AlphaMems)
+		}
+		events := fanoutPool(pdps.NewStore(), 64)
+		runtime.GC()
+		start := time.Now()
+		for i := 0; i < churnIters; i++ {
+			w := events[i%len(events)]
+			n.Insert(w)
+			n.Remove(w)
+		}
+		shrunk := time.Since(start)
+		fmt.Printf("  %-14s %12s %12s %14s\n", "", "alphamems", "disc-nodes", "churn")
+		fmt.Printf("  %-14s %12d %12d %14v\n", "256 rules", before.AlphaMems, before.AlphaDiscNodes, full.Round(time.Microsecond))
+		fmt.Printf("  %-14s %12d %12d %14v\n", "after GC->64", after.AlphaMems, after.AlphaDiscNodes, shrunk.Round(time.Microsecond))
+	}
+
+	// A live-engine pass over ManyRulesFanout for the CI metric
+	// artifact: probes stay near one per routed attribute per event
+	// while the evaluated-test counter stays flat as rules grow.
+	fmt.Println("  (iv) live engine on ManyRulesFanout(256, 2048):")
+	fmt.Printf("  %-12s %12s %9s %10s %12s %8s\n", "matcher", "elapsed", "firings", "probes", "tests-eval", "shared")
+	for _, matcher := range []string{"rete-linear", "rete"} {
+		prog := pdps.ManyRulesFanout(256, 2048)
+		eng, err := pdps.NewSingleEngine(prog, pdps.Options{Matcher: matcher})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res, err := eng.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if res.Firings != 2048 {
+			log.Fatalf("%s: firings = %d, want 2048", matcher, res.Firings)
+		}
+		snap := eng.Metrics().Snapshot()
+		shared, _ := snap.Gauge("rete_alpha_shared")
+		fmt.Printf("  %-12s %12v %9d %10d %12d %8d\n", matcher, elapsed.Round(time.Microsecond), res.Firings,
+			snap.Counter("rete_alpha_probes_total"), snap.Counter("rete_alpha_tests_evaluated_total"), shared)
+		dumpMetrics("e22", matcher, eng)
+	}
+}

@@ -6,7 +6,7 @@
 // plus the factor sweeps of Section 5. Its output is the source of
 // EXPERIMENTS.md.
 //
-// Usage: psbench [-experiment all|e1|e2|...|e21] [-seeds N]
+// Usage: psbench [-experiment all|e1|e2|...|e22] [-seeds N]
 //
 // With -cpuprofile/-memprofile, a pprof CPU profile is recorded over
 // the selected experiments and a heap profile is written on exit, so
@@ -97,7 +97,7 @@ func dumpMetrics(id, run string, eng pdps.Engine) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("psbench: ")
-	which := flag.String("experiment", "all", "experiment id (e1..e21) or all")
+	which := flag.String("experiment", "all", "experiment id (e1..e22) or all")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -135,6 +135,7 @@ func main() {
 		{"e18", "§4 — hybrid consistency: lock elision, class locks, group commit", e18},
 		{"e19", "§6 — durability tax and group-commit fsync amortization", e19},
 		{"e21", "§2 — cost-based Rete compilation: join planning, beta sharing, adaptive replan", e21},
+		{"e22", "§2 — shared alpha discrimination network: hash routing, factoring, GC", e22},
 	}
 
 	ran := false

@@ -13,7 +13,9 @@
 // table ends with the geometric mean of the per-row ns/op ratios —
 // the single number to watch across commits. The exit status is 0
 // unless -fail-over N is given and the geomean regression exceeds N
-// percent.
+// percent, or -fail-row RE / -fail-row-over N is given and any single
+// row matching RE regresses by more than N percent — the per-row gate
+// catches a targeted regression that a healthy geomean would hide.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -109,7 +112,17 @@ func fmtNs(ns float64) string {
 func main() {
 	geo := flag.Bool("geomean", true, "print the geometric mean of per-row ns/op ratios")
 	failOver := flag.Float64("fail-over", 0, "exit 1 if the geomean regression exceeds this percentage (0 disables)")
+	failRow := flag.String("fail-row", "", "regexp of benchmark names held to the -fail-row-over per-row bound")
+	failRowOver := flag.Float64("fail-row-over", 10, "exit 1 if any -fail-row match regresses by more than this percentage")
 	flag.Parse()
+	var rowRE *regexp.Regexp
+	if *failRow != "" {
+		var err error
+		if rowRE, err = regexp.Compile(*failRow); err != nil {
+			fmt.Fprintln(os.Stderr, "psbenchdiff: bad -fail-row:", err)
+			os.Exit(2)
+		}
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: psbenchdiff old.txt new.txt")
 		os.Exit(2)
@@ -141,6 +154,7 @@ func main() {
 	}
 	fmt.Printf("%-*s  %12s  %12s  %8s\n", w, "name", "old", "new", "delta")
 	logSum, rows := 0.0, 0
+	var rowFailures []string
 	for _, n := range names {
 		o, nw := median(old[n].nsop), median(new_[n].nsop)
 		if math.IsNaN(o) || math.IsNaN(nw) || o == 0 {
@@ -150,6 +164,10 @@ func main() {
 		fmt.Printf("%-*s  %12s  %12s  %+7.1f%%\n", w, n, fmtNs(o), fmtNs(nw), delta)
 		logSum += math.Log(nw / o)
 		rows++
+		if rowRE != nil && rowRE.MatchString(n) && delta > *failRowOver {
+			rowFailures = append(rowFailures,
+				fmt.Sprintf("%s regressed %.1f%% (bound %.1f%%)", n, delta, *failRowOver))
+		}
 	}
 	ratio := 1.0
 	if rows > 0 {
@@ -174,9 +192,17 @@ func main() {
 	report("old", old, new_)
 	report("new", new_, old)
 
+	fail := false
+	for _, msg := range rowFailures {
+		fmt.Fprintln(os.Stderr, "psbenchdiff:", msg)
+		fail = true
+	}
 	if *failOver > 0 && 100*(ratio-1) > *failOver {
 		fmt.Fprintf(os.Stderr, "psbenchdiff: geomean regression %.1f%% exceeds %.1f%%\n",
 			100*(ratio-1), *failOver)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

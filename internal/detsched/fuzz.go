@@ -31,7 +31,11 @@ type FuzzConfig struct {
 	Seed int64
 	// Np is the worker count; 0 means 2.
 	Np int
-	// Matchers to cycle through; nil means {"rete", "treat", "naive"}.
+	// Matchers to cycle through; nil means {"rete", "rete-linear",
+	// "treat", "naive"} — "rete" routes asserts through the shared
+	// alpha discrimination network while "rete-linear" walks the
+	// per-class alpha list, so the default campaign cross-checks the
+	// discrimination axis at every shard count.
 	Matchers []string
 	// Shards is the matcher shard counts to cycle through; nil means
 	// {1, 3} so both the single-matcher and the sharded delta-merge
@@ -73,7 +77,7 @@ func (c FuzzConfig) seedsPer() int {
 
 func (c FuzzConfig) matchers() []string {
 	if c.Matchers == nil {
-		return []string{"rete", "treat", "naive"}
+		return []string{"rete", "rete-linear", "treat", "naive"}
 	}
 	return c.Matchers
 }

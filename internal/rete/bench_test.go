@@ -209,3 +209,89 @@ func BenchmarkAddRuleSeeding(b *testing.B) {
 		}
 	}
 }
+
+// fanoutRules is the ManyRulesFanout rule shape at matcher level:
+// nRules single-CE rules over one event class with overlapping
+// constant tests (a category shared by nRules/16 rules, a priority
+// band, and a live flag shared by all). The linear alpha network
+// evaluates every rule's predicate closure per assert; the
+// discrimination network answers with one hash probe plus the shared
+// residual tests.
+func fanoutRules(nRules int) []*match.Rule {
+	cats := 16
+	if nRules < cats {
+		cats = nRules
+	}
+	rules := make([]*match.Rule, nRules)
+	for r := range rules {
+		rules[r] = &match.Rule{
+			Name: fmt.Sprintf("fan%d", r),
+			Conditions: []match.Condition{{
+				Class: "event",
+				Tests: []match.AttrTest{
+					{Attr: "cat", Op: match.OpEq, Const: wm.Int(int64(r % cats))},
+					{Attr: "pri", Op: match.OpEq, Const: wm.Int(int64(r / cats))},
+					{Attr: "live", Op: match.OpEq, Const: wm.Bool(true)},
+				},
+			}},
+			Actions: []match.Action{{Kind: match.ActRemove, CE: 0}},
+		}
+	}
+	return rules
+}
+
+// BenchmarkAlphaFanout measures the alpha assert path as rule count
+// grows (E22): insert/remove churn of events through R single-CE
+// rules, mostly cold events matching no rule (the common case — a
+// linear alpha network still walks all R memories) with every fourth
+// event hot (owned by exactly one rule). "disc" routes through the
+// shared discrimination network; "linear" is the per-class list walk.
+func BenchmarkAlphaFanout(b *testing.B) {
+	for _, rules := range []int{16, 64, 256} {
+		for _, v := range []struct {
+			name string
+			mk   func() *Network
+		}{
+			{"disc", New},
+			{"linear", NewLinear},
+		} {
+			b.Run(fmt.Sprintf("%s/R%d", v.name, rules), func(b *testing.B) {
+				m := v.mk()
+				for _, r := range fanoutRules(rules) {
+					if err := m.AddRule(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Pre-build the event pool so the loop times the assert
+				// path, not WME construction.
+				s := wm.NewStore()
+				events := make([]*wm.WME, 64)
+				for i := range events {
+					if i%4 == 0 {
+						r := i % rules
+						events[i] = s.Insert("event", map[string]wm.Value{
+							"cat": wm.Int(int64(r % 16)), "pri": wm.Int(int64(r / 16)), "live": wm.Bool(true)})
+						continue
+					}
+					events[i] = s.Insert("event", map[string]wm.Value{
+						"cat": wm.Int(int64(i % 16)), "pri": wm.Int(int64(rules)), "live": wm.Bool(true)})
+				}
+				m.Insert(events[0])
+				if m.ConflictSet().Len() != 1 {
+					b.Fatal("hot event did not match its rule")
+				}
+				m.Remove(events[0])
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w := events[i%len(events)]
+					m.Insert(w)
+					m.Remove(w)
+				}
+				b.StopTimer()
+				if m.ConflictSet().Len() != 0 {
+					b.Fatal("churn leaked instantiations")
+				}
+			})
+		}
+	}
+}

@@ -253,6 +253,9 @@ func (n *Network) alphaMemFor(class string, consts []match.AttrTest, intras []in
 	}
 	n.alphaByKey[key] = am
 	n.alphaByClass[class] = append(n.alphaByClass[class], am)
+	if n.alphaIndexing {
+		n.discAttach(am, cs, is, ps)
+	}
 	for w := range n.wmes {
 		if w.Class == class && am.pred(w) {
 			am.items[w] = true
@@ -261,24 +264,38 @@ func (n *Network) alphaMemFor(class string, consts []match.AttrTest, intras []in
 	return am
 }
 
+// constPart, intraPart and presencePart render one test's structural
+// signature. They serve double duty: sorted and joined they form the
+// alpha-memory sharing key, and individually they are the
+// discrimination-network node-sharing keys (alpha.go) — two patterns
+// share a residual test node exactly when the signatures match.
+func constPart(t match.AttrTest) string {
+	if t.IsDisjunction() {
+		alts := make([]string, len(t.OneOf))
+		for i, v := range t.OneOf {
+			alts[i] = fmt.Sprintf("%s:%d", v, v.Kind())
+		}
+		return fmt.Sprintf("d:%s in [%s]", t.Attr, strings.Join(alts, " "))
+	}
+	return fmt.Sprintf("c:%s %s %s:%d", t.Attr, t.Op, t.Const, t.Const.Kind())
+}
+
+func intraPart(it intraTest) string {
+	return fmt.Sprintf("i:%s %s %s", it.attrA, it.op, it.attrB)
+}
+
+func presencePart(a string) string { return "p:" + a }
+
 func alphaKey(class string, consts []match.AttrTest, intras []intraTest, presence []string) string {
 	parts := make([]string, 0, len(consts)+len(intras)+len(presence))
 	for _, t := range consts {
-		if t.IsDisjunction() {
-			alts := make([]string, len(t.OneOf))
-			for i, v := range t.OneOf {
-				alts[i] = fmt.Sprintf("%s:%d", v, v.Kind())
-			}
-			parts = append(parts, fmt.Sprintf("d:%s in [%s]", t.Attr, strings.Join(alts, " ")))
-			continue
-		}
-		parts = append(parts, fmt.Sprintf("c:%s %s %s:%d", t.Attr, t.Op, t.Const, t.Const.Kind()))
+		parts = append(parts, constPart(t))
 	}
 	for _, it := range intras {
-		parts = append(parts, fmt.Sprintf("i:%s %s %s", it.attrA, it.op, it.attrB))
+		parts = append(parts, intraPart(it))
 	}
 	for _, a := range presence {
-		parts = append(parts, "p:"+a)
+		parts = append(parts, presencePart(a))
 	}
 	sort.Strings(parts)
 	return class + "|" + strings.Join(parts, "|")

@@ -110,9 +110,12 @@ func TestIndexedNegationChurn(t *testing.T) {
 
 // assertIndexesEmpty walks every join and negative node and fails if a
 // hash bucket still holds an entry after working memory was drained —
-// a leak in the unindexing paths.
+// a leak in the unindexing paths. It also sweeps the alpha
+// registries and discrimination network (assertAlphaConsistent), so
+// every drain-style test covers alpha GC for free.
 func assertIndexesEmpty(t *testing.T, n *Network) {
 	t.Helper()
+	assertAlphaConsistent(t, n)
 	for key, am := range n.alphaByKey {
 		for _, s := range am.successors {
 			switch node := s.(type) {

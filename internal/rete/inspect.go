@@ -16,6 +16,14 @@ type Topology struct {
 	ProdNodes  int
 	SharedAlph int // alpha memories feeding more than one successor
 	SharedBeta int // beta levels referenced by more than one rule
+
+	// Discrimination-network shape (alpha.go): the hash-routed
+	// attributes across classes, the total discrimination nodes
+	// (buckets plus residual test nodes), and how many of those sit on
+	// more than one pattern's path — the cross-rule factoring.
+	AlphaRoutedAttrs int
+	AlphaDiscNodes   int
+	SharedAlphaNodes int
 }
 
 // Topology walks the network and counts its nodes.
@@ -79,6 +87,32 @@ func (n *Network) Topology() Topology {
 		if bl.refs > 1 {
 			t.SharedBeta++
 		}
+	}
+	var walkLevels func(lv *discLevel)
+	walkLevels = func(lv *discLevel) {
+		if lv == nil {
+			return
+		}
+		t.AlphaRoutedAttrs += len(lv.eqAttrs)
+		for _, er := range lv.eqRoots {
+			for _, b := range er.buckets {
+				t.AlphaDiscNodes++
+				if b.refs > 1 {
+					t.SharedAlphaNodes++
+				}
+				walkLevels(b.kids)
+			}
+		}
+		for _, c := range lv.rest {
+			t.AlphaDiscNodes++
+			if c.refs > 1 {
+				t.SharedAlphaNodes++
+			}
+			walkLevels(c.kids)
+		}
+	}
+	for _, d := range n.disc {
+		walkLevels(d.root.kids)
 	}
 	return t
 }

@@ -21,6 +21,15 @@ type netMetrics struct {
 	replans    *obs.Counter
 	sharedBeta *obs.Gauge
 	planCost   *obs.Gauge
+	// alphaProbes counts hash probes on the alpha assert/retract path
+	// (one per routed attribute a WME carries); alphaTests counts
+	// residual discrimination tests evaluated — with cross-rule
+	// factoring each distinct test fires once per WME regardless of
+	// how many rules share it. sharedAlpha gauges the discrimination
+	// nodes on more than one pattern's path.
+	alphaProbes *obs.Counter
+	alphaTests  *obs.Counter
+	sharedAlpha *obs.Gauge
 }
 
 // SetMetrics wires the network's index/scan counters into the
@@ -34,6 +43,10 @@ func (n *Network) SetMetrics(reg *obs.Registry) {
 		replans:    reg.Counter("rete_replan_total"),
 		sharedBeta: reg.Gauge("rete_shared_beta"),
 		planCost:   reg.Gauge("rete_plan_cost"),
+
+		alphaProbes: reg.Counter("rete_alpha_probes_total"),
+		alphaTests:  reg.Counter("rete_alpha_tests_evaluated_total"),
+		sharedAlpha: reg.Gauge("rete_alpha_shared"),
 	}
 	n.updatePlanGauges()
 }
@@ -59,5 +72,21 @@ func (n *Network) metScan(s *joinStats, candidates int) {
 	if n.met != nil {
 		n.met.scans.Inc()
 		n.met.scanned.Add(int64(candidates))
+	}
+}
+
+// metAlphaProbe records one hash probe on the discrimination
+// network's routing layer; metAlphaTest one residual test evaluation.
+// Neither feeds obsWork: the adaptive-replan trigger measures join
+// activity, which alpha routing is designed to be independent of.
+func (n *Network) metAlphaProbe() {
+	if n.met != nil {
+		n.met.alphaProbes.Inc()
+	}
+}
+
+func (n *Network) metAlphaTest() {
+	if n.met != nil {
+		n.met.alphaTests.Inc()
 	}
 }

@@ -118,11 +118,13 @@ func (n *Network) removeChain(rc *ruleChain) {
 			n.foldStats(joinStatsKey(bl.join.amem.key, bl.join.tests), bl.join.stats)
 			bl.parent.removeChildSink(bl.join)
 			bl.join.amem.removeSuccessor(bl.join)
+			n.maybeGCAlpha(bl.join.amem)
 		}
 		if bl.neg != nil {
 			n.foldStats(joinStatsKey(bl.neg.amem.key, bl.neg.tests), bl.neg.stats)
 			bl.parent.removeChildSink(bl.neg)
 			bl.neg.amem.removeSuccessor(bl.neg)
+			n.maybeGCAlpha(bl.neg.amem)
 		}
 		if n.sharing {
 			delete(n.betaLevels, bl.key)
@@ -132,10 +134,29 @@ func (n *Network) removeChain(rc *ruleChain) {
 		n.foldStats(joinStatsKey(rc.lastJoin.amem.key, rc.lastJoin.tests), rc.lastJoin.stats)
 		rc.lastParent.removeChildSink(rc.lastJoin)
 		rc.lastJoin.amem.removeSuccessor(rc.lastJoin)
+		n.maybeGCAlpha(rc.lastJoin.amem)
 	} else if firstDead == len(rc.levels) {
 		// The production hangs off a surviving shared negative node.
 		rc.levels[len(rc.levels)-1].neg.removeChildSink(rc.prod)
 	}
+}
+
+// RemoveRule tears a rule's compiled chain out of the network: its
+// instantiations leave the conflict set, shared beta levels drop a
+// reference (exclusive suffixes are drained and unhooked), and alpha
+// memories left without successors are garbage-collected along with
+// their discrimination-network paths, so removed rules stop taxing
+// the assert path entirely. Removing an unknown rule is an error.
+func (n *Network) RemoveRule(name string) error {
+	rc := n.chains[name]
+	if rc == nil {
+		return errorf("unknown rule %s", name)
+	}
+	n.removeChain(rc)
+	delete(n.chains, name)
+	delete(n.rules, name)
+	n.updatePlanGauges()
+	return nil
 }
 
 // SetAdaptive enables or disables adaptive replanning: at every
@@ -244,6 +265,7 @@ func (n *Network) updatePlanGauges() {
 		}
 	}
 	n.met.sharedBeta.Set(shared)
+	n.met.sharedAlpha.Set(n.countSharedAlpha())
 }
 
 // RulePlan reports one rule's compiled join order for diagnostics:
@@ -256,12 +278,17 @@ type RulePlan struct {
 	Classes []string
 	Negated []bool
 	Shared  []bool
-	Cost    float64
-	Replans int
+	// AlphaShared marks levels whose alpha memory feeds more than one
+	// successor — the cross-rule constant-test factoring achieved by
+	// the discrimination network.
+	AlphaShared []bool
+	Cost        float64
+	Replans     int
 }
 
 // String renders the plan compactly: each level as class[origIdx],
-// negated levels prefixed with ~, shared levels suffixed with *.
+// negated levels prefixed with ~, beta-shared levels suffixed with *,
+// alpha-shared levels suffixed with '.
 func (p RulePlan) String() string {
 	var b strings.Builder
 	b.WriteString(p.Rule)
@@ -274,6 +301,9 @@ func (p RulePlan) String() string {
 		fmt.Fprintf(&b, "%s[%d]", cls, p.Order[i])
 		if p.Shared[i] {
 			b.WriteByte('*')
+		}
+		if i < len(p.AlphaShared) && p.AlphaShared[i] {
+			b.WriteByte('\'')
 		}
 	}
 	fmt.Fprintf(&b, " (cost %.0f", p.Cost)
@@ -306,6 +336,18 @@ func (n *Network) Plans() []RulePlan {
 			p.Classes = append(p.Classes, c.Class)
 			p.Negated = append(p.Negated, c.Negated)
 			p.Shared = append(p.Shared, lvl < len(rc.levels) && rc.levels[lvl].refs > 1)
+			var am *alphaMem
+			switch {
+			case lvl < len(rc.levels):
+				if bl := rc.levels[lvl]; bl.join != nil {
+					am = bl.join.amem
+				} else {
+					am = bl.neg.amem
+				}
+			case rc.lastJoin != nil:
+				am = rc.lastJoin.amem
+			}
+			p.AlphaShared = append(p.AlphaShared, am != nil && len(am.successors) > 1)
 		}
 		out = append(out, p)
 	}

@@ -101,13 +101,16 @@ func runTests(tests []joinTest, parent *token, w *wm.WME) bool {
 }
 
 // alphaMem holds the WMEs passing one constant-test pattern. Alpha
-// memories are shared between rules with identical patterns.
+// memories are shared between rules with identical patterns. disc is
+// the pattern's location in the class's discrimination network
+// (alpha.go), nil on linear networks.
 type alphaMem struct {
 	key        string
 	class      string
 	pred       func(w *wm.WME) bool
 	items      map[*wm.WME]bool
 	successors []alphaSink
+	disc       *discPath
 }
 
 func (am *alphaMem) removeSuccessor(s alphaSink) {
@@ -521,9 +524,21 @@ type Network struct {
 	tokensByWME  map[*wm.WME][]*token
 	jrOwners     map[*wm.WME][]*token // tokens whose joinResults include the WME
 
+	// disc holds each class's constant-test discrimination network
+	// (alpha.go); amemScratch and akbuf are pooled assert-path scratch
+	// (activations are single-threaded per network), so routing a WME
+	// allocates nothing.
+	disc        map[string]*classDisc
+	amemScratch []*alphaMem
+	akbuf       []byte
+
 	// indexing selects hashed memories for joins with equality tests;
 	// it must be set before AddRule (join nodes capture it at compile).
 	indexing bool
+	// alphaIndexing routes asserts/retracts through the discrimination
+	// network instead of the linear per-class alpha list. Must be set
+	// before AddRule (patterns attach at compile).
+	alphaIndexing bool
 	// planning reorders condition elements by the static cost model
 	// (cost.go); sharing caches structurally-equal beta prefixes across
 	// rules (compile.go). Both must be set before AddRule.
@@ -551,6 +566,7 @@ type Network struct {
 func New() *Network {
 	n := newNetwork()
 	n.indexing = true
+	n.alphaIndexing = true
 	n.planning = true
 	n.sharing = true
 	return n
@@ -563,6 +579,7 @@ func New() *Network {
 func NewSourceOrder() *Network {
 	n := newNetwork()
 	n.indexing = true
+	n.alphaIndexing = true
 	return n
 }
 
@@ -585,6 +602,7 @@ func newNetwork() *Network {
 		betaLevels:   make(map[string]*betaLevel),
 		chains:       make(map[string]*ruleChain),
 		foldedStats:  make(map[string]*joinStats),
+		disc:         make(map[string]*classDisc),
 
 		adaptThreshold: 2.0,
 		adaptMinWork:   4096,
@@ -620,12 +638,31 @@ func (n *Network) ConflictSet() *match.ConflictSet {
 func (n *Network) TrackChanges(on bool) { n.cs.TrackChanges(on) }
 
 // Insert adds a WME version to the network and propagates matches.
+// With alpha indexing the WME is routed through the discrimination
+// network (alpha.go) into pooled scratch; membership lands in every
+// matched memory before any successor activates, so a cascading
+// activation that reads another alpha memory of the same class sees a
+// consistent view. The linear fallback walks every memory of the
+// class and re-evaluates its predicate — the NewLinear baseline.
 func (n *Network) Insert(w *wm.WME) {
 	if n.wmes[w] {
 		return
 	}
 	n.wmes[w] = true
 	n.classCount[w.Class]++
+	if n.alphaIndexing {
+		mems := n.routeWME(w, n.amemScratch[:0])
+		for _, am := range mems {
+			am.items[w] = true
+		}
+		for _, am := range mems {
+			for _, s := range am.successors {
+				s.rightActivate(w)
+			}
+		}
+		n.amemScratch = mems[:0]
+		return
+	}
 	for _, am := range n.alphaByClass[w.Class] {
 		if am.pred(w) {
 			am.items[w] = true
@@ -647,11 +684,26 @@ func (n *Network) Remove(w *wm.WME) {
 	if n.classCount[w.Class] == 0 {
 		delete(n.classCount, w.Class)
 	}
-	for _, am := range n.alphaByClass[w.Class] {
-		if am.items[w] {
+	if n.alphaIndexing {
+		// WME versions are immutable, so re-routing reproduces exactly
+		// the memories the insert matched (or the back-fill populated).
+		mems := n.routeWME(w, n.amemScratch[:0])
+		for _, am := range mems {
 			delete(am.items, w)
+		}
+		for _, am := range mems {
 			for _, s := range am.successors {
 				s.rightRetract(w)
+			}
+		}
+		n.amemScratch = mems[:0]
+	} else {
+		for _, am := range n.alphaByClass[w.Class] {
+			if am.items[w] {
+				delete(am.items, w)
+				for _, s := range am.successors {
+					s.rightRetract(w)
+				}
 			}
 		}
 	}

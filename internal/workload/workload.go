@@ -337,6 +337,43 @@ func JoinHeavySkewed(keys, width, sparsity int) engine.Program {
 	return p
 }
 
+// ManyRulesFanout is the alpha-network workload (E22): `rules`
+// single-CE rules over one event class, each testing three overlapping
+// constants — a category shared by rules/16 rules, a priority band,
+// and a live flag shared by every rule — so a linear alpha network
+// re-evaluates all `rules` predicate closures per assert while the
+// discrimination network answers with one hash probe plus the shared
+// residual tests. Every event carries a (cat, pri) pair owned by
+// exactly one rule, which consumes it. Firings: events; final working
+// memory is empty.
+func ManyRulesFanout(rules, events int) engine.Program {
+	cats := 16
+	if rules < cats {
+		cats = rules
+	}
+	p := engine.Program{}
+	for r := 0; r < rules; r++ {
+		p.Rules = append(p.Rules, &match.Rule{
+			Name: fmt.Sprintf("fan%d", r),
+			Conditions: []match.Condition{{
+				Class: "event",
+				Tests: []match.AttrTest{
+					{Attr: "cat", Op: match.OpEq, Const: wm.Int(int64(r % cats))},
+					{Attr: "pri", Op: match.OpEq, Const: wm.Int(int64(r / cats))},
+					{Attr: "live", Op: match.OpEq, Const: wm.Bool(true)},
+				},
+			}},
+			Actions: []match.Action{{Kind: match.ActRemove, CE: 0}},
+		})
+	}
+	for e := 0; e < events; e++ {
+		r := e % rules
+		p.WMEs = append(p.WMEs, engine.InitialWME{Class: "event",
+			Attrs: attrs("cat", r%cats, "pri", r/cats, "live", true, "seq", e)})
+	}
+	return p
+}
+
 // SharedCounter builds the high-conflict variant of Pipeline: every
 // stage advance also increments one shared tally tuple, so all firings
 // write-conflict on it. Firings: parts×stages; final tally equals that

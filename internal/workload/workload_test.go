@@ -105,3 +105,33 @@ func TestRandomProgramDrainsWM(t *testing.T) {
 		}
 	}
 }
+
+// TestManyRulesFanoutShape checks the E22 invariant on every matcher
+// variant: each event is owned by exactly one rule, so the program
+// fires once per event and drains working memory — identically under
+// the discrimination network ("rete") and the linear alpha baseline
+// ("rete-linear").
+func TestManyRulesFanoutShape(t *testing.T) {
+	for _, matcher := range []string{"rete", "rete-linear", "treat"} {
+		for _, rules := range []int{8, 48} {
+			prog := ManyRulesFanout(rules, 96)
+			e, err := engine.NewSingle(prog, engine.Options{Matcher: matcher, Verify: true})
+			if err != nil {
+				t.Fatalf("%s/R%d: %v", matcher, rules, err)
+			}
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s/R%d: %v", matcher, rules, err)
+			}
+			if res.Firings != 96 {
+				t.Fatalf("%s/R%d: firings = %d, want 96", matcher, rules, res.Firings)
+			}
+			if e.Store().Len() != 0 {
+				t.Fatalf("%s/R%d: %d tuples left", matcher, rules, e.Store().Len())
+			}
+			if err := engine.CheckTrace(prog, res.Log.Commits()); err != nil {
+				t.Fatalf("%s/R%d: %v", matcher, rules, err)
+			}
+		}
+	}
+}

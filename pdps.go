@@ -554,6 +554,10 @@ var (
 	// JoinHeavySkewed generates the run-time-skewed join workload only
 	// adaptive replanning fixes (E21).
 	JoinHeavySkewed = workload.JoinHeavySkewed
+	// ManyRulesFanout generates the wide single-CE rule-set workload
+	// the shared alpha discrimination network answers in O(1) per
+	// assert where the linear alpha walk pays O(rules) (E22).
+	ManyRulesFanout = workload.ManyRulesFanout
 	// Independent generates the pairwise non-interfering counter
 	// workload — the elision-friendly extreme of the hybrid scheme.
 	Independent = workload.Independent
